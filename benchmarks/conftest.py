@@ -1,0 +1,31 @@
+"""pytest-benchmark configuration for the experiment benches.
+
+Each bench target regenerates one of the paper's tables/figures at a
+reduced-but-representative setting and reports its wall time.  The
+rows themselves are attached to the benchmark's ``extra_info`` so a
+``--benchmark-json`` export carries the regenerated numbers.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benches are deterministic simulations; one round keeps the suite
+    # fast while still exercising the full experiment path.
+    for item in items:
+        item.add_marker(pytest.mark.benchmark(min_rounds=1, max_time=0.001))
+
+
+@pytest.fixture
+def record_result(benchmark):
+    """Attach an ExperimentResult's rows to the benchmark report."""
+
+    def _record(result):
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["rows"] = [
+            [str(cell) for cell in row] for row in result.rows
+        ]
+        benchmark.extra_info["notes"] = result.notes
+        return result
+
+    return _record

@@ -1,0 +1,166 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Four axes, each isolating one mechanism of FaaSFlow:
+
+1. **Partition strategy** — greedy critical-path grouping (Algorithm 1)
+   vs the hash bootstrap vs no grouping at all.
+2. **FaaStore on/off** — same grouped placement, storage policy
+   swapped, isolating the data-locality gain from the scheduling gain.
+3. **Reclamation margin mu** — Eq. 1's pessimistic safety margin: too
+   large a margin starves the quota and data spills to the remote
+   store.
+4. **Remote-store concurrency** — how sensitive the results are to the
+   database's request-level parallelism (the contention model).
+"""
+
+import pytest
+
+from repro.clients import run_closed_loop
+from repro.core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    GraphScheduler,
+    Placement,
+    ReclamationConfig,
+    RemoteStorePolicy,
+    hash_partition,
+)
+from repro.experiments.common import make_cluster
+from repro.workloads import build
+
+MB = 1024.0 * 1024.0
+
+
+def _grouped_system(cluster, reclamation=None, policy=None):
+    system = FaaSFlowSystem(cluster, EngineConfig(ship_data=True))
+    if policy is not None:
+        system.policy = policy(cluster, system.metrics)
+        system.runtime.policy = system.policy
+    scheduler = GraphScheduler(cluster, reclamation=reclamation)
+    return system, scheduler
+
+
+def _deploy_grouped(system, scheduler, dag):
+    from repro.dag import estimate_edge_weights
+
+    estimate_edge_weights(dag, bandwidth=system.cluster.config.storage_bandwidth)
+    placement, quotas, _ = scheduler.schedule(dag, force_grouping=True)
+    system.deploy(dag, placement, quotas=quotas)
+
+
+def _mean_latency(records):
+    warm = records[1:] or records
+    return sum(r.latency for r in warm) / len(warm)
+
+
+class TestPartitionStrategyAblation:
+    def run_strategy(self, strategy: str) -> float:
+        """Chain-heavy Epigenomics: read-through caching cannot help
+        cross-node chain edges (single consumer), so localization — and
+        therefore latency — depends on the partition strategy."""
+        cluster = make_cluster()
+        system, scheduler = _grouped_system(cluster)
+        dag = build("epigenomics")
+        if strategy == "greedy":
+            _deploy_grouped(system, scheduler, dag)
+        elif strategy == "hash":
+            placement = hash_partition(dag, cluster.worker_names())
+            _, quotas, _ = scheduler.schedule(dag)  # quotas from Eq. 2
+            system.deploy(dag, placement, quotas=quotas)
+        elif strategy == "singleton":
+            workers = cluster.worker_names()
+            assignment = {
+                name: workers[i % len(workers)]
+                for i, name in enumerate(dag.node_names)
+            }
+            system.deploy(dag, Placement(workflow=dag.name, assignment=assignment))
+        return _mean_latency(run_closed_loop(system, "epigenomics", 4))
+
+    def test_bench_greedy_beats_hash(self, benchmark):
+        greedy = benchmark(self.run_strategy, "greedy")
+        hash_latency = self.run_strategy("hash")
+        singleton = self.run_strategy("singleton")
+        assert greedy < hash_latency
+        assert greedy < singleton
+
+    def test_bench_hash_partition_cost(self, benchmark):
+        dag = build("genome")
+        placement = benchmark(hash_partition, dag, [f"w{i}" for i in range(7)])
+        placement.validate_against(dag)
+
+
+class TestFaaStoreAblation:
+    def run_with_policy(self, use_faastore: bool) -> float:
+        cluster = make_cluster()
+        if use_faastore:
+            system, scheduler = _grouped_system(cluster)
+        else:
+            system, scheduler = _grouped_system(
+                cluster, policy=RemoteStorePolicy
+            )
+        dag = build("cycles")
+        _deploy_grouped(system, scheduler, dag)
+        return _mean_latency(run_closed_loop(system, "cycles", 4))
+
+    def test_bench_faastore_gain_at_fixed_partition(self, benchmark):
+        """Same WorkerSP engine and grouped placement; only the storage
+        policy changes — the isolated FaaStore gain."""
+        with_store = benchmark(self.run_with_policy, True)
+        without_store = self.run_with_policy(False)
+        assert with_store < without_store
+
+
+class TestReclamationMarginAblation:
+    def run_with_mu(self, mu: float) -> tuple[float, float]:
+        cluster = make_cluster()
+        reclamation = ReclamationConfig(
+            container_memory=cluster.config.container.memory_limit, mu=mu
+        )
+        system, scheduler = _grouped_system(cluster, reclamation=reclamation)
+        dag = build("epigenomics")
+        _deploy_grouped(system, scheduler, dag)
+        records = run_closed_loop(system, "epigenomics", 3)
+        return (
+            _mean_latency(records),
+            system.metrics.local_fraction("epigenomics"),
+        )
+
+    def test_bench_mu_sweep(self, benchmark):
+        """A huge safety margin starves the quota: locality collapses."""
+        _, local_small_mu = benchmark(self.run_with_mu, 32 * MB)
+        _, local_huge_mu = self.run_with_mu(144 * MB)
+        assert local_small_mu > local_huge_mu
+
+    def test_bench_zero_mu_is_most_aggressive(self, benchmark):
+        _, local_zero = benchmark(self.run_with_mu, 0.0)
+        _, local_default = self.run_with_mu(32 * MB)
+        assert local_zero >= local_default - 1e-9
+
+
+class TestStorageConcurrencyAblation:
+    def run_with_db_concurrency(self, concurrency: int) -> float:
+        from repro.sim import Cluster, ClusterConfig, ContainerSpec, Environment
+
+        cluster = Cluster(
+            Environment(),
+            ClusterConfig(
+                workers=7,
+                storage_bandwidth=50 * MB,
+                container=ContainerSpec(cold_start_time=0.5),
+                db_concurrency=concurrency,
+            ),
+        )
+        from repro.core import HyperFlowServerlessSystem
+        from repro.experiments.common import register_hyperflow
+
+        system = HyperFlowServerlessSystem(cluster, EngineConfig(ship_data=True))
+        dag = build("genome")
+        register_hyperflow(system, dag)
+        return _mean_latency(run_closed_loop(system, "genome", 3))
+
+    def test_bench_db_concurrency_sensitivity(self, benchmark):
+        """More store-side parallelism shortens the baseline's e2e
+        latency (bursty fan-out stops queueing)."""
+        serialized = benchmark(self.run_with_db_concurrency, 1)
+        wide = self.run_with_db_concurrency(32)
+        assert wide < serialized

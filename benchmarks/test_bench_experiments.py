@@ -1,0 +1,102 @@
+"""Benches: regenerate every paper table/figure (reduced settings).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each bench executes
+one experiment end-to-end; the regenerated rows land in the benchmark's
+``extra_info``.  Full-setting runs (the numbers recorded in
+EXPERIMENTS.md) come from ``faasflow-experiment <id>``.
+"""
+
+from repro.experiments import (
+    fig04_master_overhead,
+    fig05_data_movement,
+    fig11_sched_overhead,
+    fig12_bandwidth_sweep,
+    fig13_tail_latency,
+    fig14_colocation,
+    fig15_grouping,
+    fig16_scheduler_scalability,
+    sec57_component_overhead,
+    tab04_transfer_latency,
+)
+
+MB = 1024.0 * 1024.0
+
+
+def test_bench_fig04_master_overhead(benchmark, record_result):
+    result = benchmark(fig04_master_overhead.run, invocations=10)
+    record_result(result)
+    assert len(result.rows) == 8
+
+
+def test_bench_fig05_data_movement(benchmark, record_result):
+    result = benchmark(fig05_data_movement.run)
+    record_result(result)
+    assert len(result.rows) == 8
+
+
+def test_bench_fig11_sched_overhead(benchmark, record_result):
+    result = benchmark(fig11_sched_overhead.run, invocations=10)
+    record_result(result)
+    reductions = result.data["reductions"]
+    assert sum(reductions) / len(reductions) > 50
+
+
+def test_bench_tab04_transfer_latency(benchmark, record_result):
+    result = benchmark(tab04_transfer_latency.run, invocations=3)
+    record_result(result)
+    assert len(result.rows) == 8
+
+
+def test_bench_fig12_bandwidth_sweep(benchmark, record_result):
+    result = benchmark(
+        fig12_bandwidth_sweep.run,
+        invocations=10,
+        bandwidths=(25 * MB, 100 * MB),
+        rates=(4.0, 6.0),
+    )
+    record_result(result)
+    assert len(result.rows) == 8  # 2 benchmarks x 2 bandwidths x 2 rates
+
+
+def test_bench_fig13_tail_latency(benchmark, record_result):
+    result = benchmark(fig13_tail_latency.run, invocations=15)
+    record_result(result)
+    assert len(result.rows) == 8
+
+
+def test_bench_fig14_colocation(benchmark, record_result):
+    result = benchmark(fig14_colocation.run, invocations=4)
+    record_result(result)
+    assert len(result.rows) == 16
+
+
+def test_bench_fig15_grouping(benchmark, record_result):
+    result = benchmark(fig15_grouping.run)
+    record_result(result)
+    assert len(result.rows) == 8
+
+
+def test_bench_fig16_scheduler_scalability(benchmark, record_result):
+    result = benchmark(
+        fig16_scheduler_scalability.run, sizes=(10, 25, 50, 100), repeats=2
+    )
+    record_result(result)
+    assert len(result.rows) == 4
+
+
+def test_bench_sec57_component_overhead(benchmark, record_result):
+    result = benchmark(
+        sec57_component_overhead.run,
+        worker_counts=(1, 5, 10, 25),
+        invocations=5,
+    )
+    record_result(result)
+    assert len(result.rows) == 4
+
+
+def test_bench_sec6_memory_vs_network(benchmark, record_result):
+    from repro.experiments import sec6_memory_vs_network
+
+    result = benchmark(sec6_memory_vs_network.run, invocations=10)
+    record_result(result)
+    assert len(result.rows) == 3

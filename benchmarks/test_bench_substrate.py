@@ -1,0 +1,119 @@
+"""Micro-benches of the simulation substrate itself.
+
+Experiment wall time is dominated by the event kernel, the network
+rebalancer, and Algorithm 1 — these benches watch their costs so a
+regression in the substrate is visible independently of the
+experiments.
+"""
+
+from repro.dag import estimate_edge_weights
+from repro.core import GroupingConfig, group_functions
+from repro.sim import Cluster, ClusterConfig, Environment, MB, Network, NetworkConfig
+from repro.workloads import genome, layered_random
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Schedule and process 100k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(100_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 99.9
+
+
+def test_bench_kernel_process_switching(benchmark):
+    """1000 processes ping-ponging through a shared store."""
+
+    def run():
+        from repro.sim import Store
+
+        env = Environment()
+        store = Store(env)
+        done = []
+
+        def producer(env, store):
+            for i in range(1000):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(1000):
+                item = yield store.get()
+                done.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_network_fair_share_rebalancing(benchmark):
+    """200 staggered flows into one link: every arrival rebalances."""
+
+    def run():
+        env = Environment()
+        net = Network(env, NetworkConfig(latency=0.0, message_threshold=0.0))
+        dst = net.attach("dst", 100 * MB)
+        sources = [net.attach(f"s{i}", 100 * MB) for i in range(200)]
+
+        def starter(env, net):
+            events = []
+            for i, src in enumerate(sources):
+                yield env.timeout(0.001)
+                events.append(net.transfer(src, dst, 2 * MB))
+            yield env.all_of(events)
+
+        proc = env.process(starter(env, net))
+        env.run(until=proc)
+        return net.total_bytes
+
+    total = benchmark(run)
+    assert total == 200 * 2 * MB
+
+
+def test_bench_grouping_200_nodes(benchmark):
+    """Algorithm 1 on a 200-node Genome (the fig16 heavy point)."""
+    dag = genome(nodes=200)
+    for node in dag.real_nodes():
+        node.memory = 64 * 1024 * 1024
+    estimate_edge_weights(dag, bandwidth=50 * MB)
+    workers = [f"w{i}" for i in range(7)]
+    config = GroupingConfig(
+        workers=workers,
+        node_capacity={w: 128.0 for w in workers},
+        quota=float("inf"),
+        max_group_instances=10.0,
+    )
+    result = benchmark(group_functions, dag, config)
+    assert sum(len(g) for g in result.groups) == len(dag.node_names)
+
+
+def test_bench_full_invocation_path(benchmark):
+    """One warm FaaSFlow invocation of a 16-node random workflow."""
+    from repro.clients import run_closed_loop
+    from repro.core import EngineConfig, FaaSFlowSystem, hash_partition
+
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(workers=3))
+    system = FaaSFlowSystem(cluster, EngineConfig(ship_data=True))
+    dag = layered_random(layers=4, width=4, seed=5)
+    system.deploy(dag, hash_partition(dag, cluster.worker_names()))
+    for worker in cluster.workers:
+        worker.set_faastore_quota(512 * MB, workflow=dag.name)
+    run_closed_loop(system, dag.name, 1)  # warm containers
+
+    def one_invocation():
+        return run_closed_loop(system, dag.name, 1)[0]
+
+    record = benchmark(one_invocation)
+    assert record.status == "ok"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""A scientific sweep campaign under load: bandwidth, tails, and timeouts.
+
+Scenario: a lab submits Cycles agro-ecosystem sweeps at a steady rate
+while the storage network degrades (other tenants take bandwidth).
+This is the situation the paper's §5.4 studies — and the reason
+FaaSFlow's data locality matters: it decouples workflow latency from
+the storage NIC.
+
+The example runs the Cycles benchmark open-loop at 4 invocations/min on
+both systems while the storage bandwidth drops 100 -> 50 -> 25 MB/s,
+and prints the p99 latency and timeout count at each level.
+
+Run: ``python examples/scientific_campaign.py``
+"""
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    FaaSFlowSystem,
+    GraphScheduler,
+    HyperFlowServerlessSystem,
+    MB,
+    hash_partition,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.workloads import cycles
+
+RATE_PER_MINUTE = 4.0
+INVOCATIONS = 25
+BANDWIDTHS = (100 * MB, 50 * MB, 25 * MB)
+
+
+def fresh_cluster(bandwidth):
+    env = Environment()
+    return Cluster(
+        env,
+        ClusterConfig(
+            storage_bandwidth=bandwidth,
+            container=ContainerSpec(cold_start_time=0.5),
+        ),
+    )
+
+
+def measure_hyperflow(bandwidth):
+    cluster = fresh_cluster(bandwidth)
+    system = HyperFlowServerlessSystem(cluster)
+    dag = cycles()
+    system.register(dag, hash_partition(dag, cluster.worker_names()))
+    run_open_loop(system, dag.name, INVOCATIONS, RATE_PER_MINUTE)
+    return (
+        system.metrics.tail_latency(dag.name, q=99),
+        len(system.metrics.timeouts(dag.name)),
+    )
+
+
+def measure_faasflow(bandwidth):
+    cluster = fresh_cluster(bandwidth)
+    system = FaaSFlowSystem(cluster)
+    scheduler = GraphScheduler(cluster)
+    dag = cycles()
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    run_closed_loop(system, dag.name, 2)  # warm-up + measurements
+    scheduler.absorb_feedback(dag, system.metrics)
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    system.metrics.clear()
+    run_open_loop(system, dag.name, INVOCATIONS, RATE_PER_MINUTE)
+    return (
+        system.metrics.tail_latency(dag.name, q=99),
+        len(system.metrics.timeouts(dag.name)),
+    )
+
+
+def main() -> None:
+    print(f"cycles campaign: {INVOCATIONS} invocations at "
+          f"{RATE_PER_MINUTE}/min, 60 s timeout\n")
+    print(f"{'bandwidth':>12}  {'HyperFlow p99':>14}  {'timeouts':>8}  "
+          f"{'FaaSFlow p99':>13}  {'timeouts':>8}")
+    for bandwidth in BANDWIDTHS:
+        hyper_p99, hyper_to = measure_hyperflow(bandwidth)
+        faas_p99, faas_to = measure_faasflow(bandwidth)
+        print(f"{bandwidth / MB:>9.0f} MB/s  {hyper_p99:>12.1f} s  "
+              f"{hyper_to:>8}  {faas_p99:>11.1f} s  {faas_to:>8}")
+    print("\nAs bandwidth shrinks, the MasterSP baseline degrades toward "
+          "the 60 s cap while FaaSFlow's locality keeps tails bounded "
+          "(paper §5.4: localized transfer multiplies the usable "
+          "bandwidth 1.5-4x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""FaaSFlow reproduction: worker-side serverless workflow scheduling.
+
+A from-scratch reproduction of *"FaaSFlow: Enable Efficient Workflow
+Execution for Function-as-a-Service"* (Li et al., ASPLOS 2022): the
+WorkerSP schedule pattern, the FaaStore adaptive hybrid storage library,
+the graph scheduler with the greedy grouping algorithm, the
+HyperFlow-serverless (MasterSP) baseline, the paper's 8 workflow
+benchmarks, and a discrete-event cluster substrate to run them on.
+
+Quickstart::
+
+    from repro import (
+        Cluster, ClusterConfig, Environment,
+        FaaSFlowSystem, GraphScheduler, run_closed_loop, parse_workflow,
+    )
+
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig())
+    dag = parse_workflow(open("workflow.yaml").read())
+    scheduler = GraphScheduler(cluster)
+    system = FaaSFlowSystem(cluster)
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    records = run_closed_loop(system, dag.name, 10)
+"""
+
+from .clients import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    run_closed_loop,
+    run_open_loop,
+)
+from .core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    FaaStorePolicy,
+    FaultInjector,
+    FunctionFailure,
+    GraphScheduler,
+    GroupingConfig,
+    GroupingResult,
+    group_functions,
+    hash_partition,
+    HyperFlowServerlessSystem,
+    MemoryUsageHistory,
+    MonolithicSystem,
+    Placement,
+    ReclamationConfig,
+    RemoteStorePolicy,
+    WorkerEngine,
+    WorkflowStructure,
+    per_node_quotas,
+    workflow_quota,
+)
+from .dag import (
+    CriticalPath,
+    critical_path,
+    DataEdge,
+    DAGError,
+    estimate_edge_weights,
+    FunctionNode,
+    WorkflowDAG,
+)
+from .metrics import (
+    InvocationRecord,
+    InvocationStatus,
+    MetricsCollector,
+    percentile,
+    TransferEvent,
+)
+from .sim import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    GB,
+    KB,
+    MB,
+    NodeConfig,
+)
+from .wdl import load_workflow, parse_workflow, WDLError, workflow_from_dict
+from .workloads import ALL_BENCHMARKS, BENCHMARKS, build, build_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS",
+    "build",
+    "build_all",
+    "ClosedLoopClient",
+    "Cluster",
+    "ClusterConfig",
+    "ContainerSpec",
+    "critical_path",
+    "CriticalPath",
+    "DataEdge",
+    "DAGError",
+    "EngineConfig",
+    "Environment",
+    "estimate_edge_weights",
+    "FaaSFlowSystem",
+    "FaaStorePolicy",
+    "FaultInjector",
+    "FunctionFailure",
+    "FunctionNode",
+    "GB",
+    "GraphScheduler",
+    "GroupingConfig",
+    "GroupingResult",
+    "group_functions",
+    "hash_partition",
+    "HyperFlowServerlessSystem",
+    "InvocationRecord",
+    "InvocationStatus",
+    "KB",
+    "load_workflow",
+    "MB",
+    "MemoryUsageHistory",
+    "MetricsCollector",
+    "MonolithicSystem",
+    "NodeConfig",
+    "OpenLoopClient",
+    "parse_workflow",
+    "percentile",
+    "per_node_quotas",
+    "Placement",
+    "ReclamationConfig",
+    "RemoteStorePolicy",
+    "run_closed_loop",
+    "run_open_loop",
+    "TransferEvent",
+    "WDLError",
+    "WorkerEngine",
+    "WorkflowDAG",
+    "workflow_from_dict",
+    "workflow_quota",
+    "WorkflowStructure",
+]

@@ -1,0 +1,15 @@
+"""Invocation clients (closed-loop / open-loop load generation)."""
+
+from .clients import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    run_closed_loop,
+    run_open_loop,
+)
+
+__all__ = [
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "run_closed_loop",
+    "run_open_loop",
+]

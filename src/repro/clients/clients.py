@@ -1,0 +1,118 @@
+"""Invocation clients: closed-loop and open-loop load generation.
+
+The paper measures with two client styles (§5.1):
+
+- **Closed-loop** (§5.2, 5.3, 5.5): one client thread sends the next
+  invocation only after receiving the previous one's execution state,
+  so exactly one invocation is in flight.  This isolates scheduling
+  overhead from queueing.
+- **Open-loop** (§5.4): invocations arrive at a fixed rate regardless of
+  completions, exposing queueing and cold-start effects; functions that
+  exceed 60 s are marked timed-out at 60 s.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..metrics import InvocationRecord
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient", "run_closed_loop", "run_open_loop"]
+
+# An "invoker" is any system exposing invoke(workflow) -> sim process
+# generator returning an InvocationRecord (both engines qualify).
+Invoker = object
+
+
+class ClosedLoopClient:
+    """One invocation in flight at a time."""
+
+    def __init__(self, system: Invoker, workflow: str, invocations: int):
+        if invocations < 1:
+            raise ValueError("invocations must be >= 1")
+        self.system = system
+        self.workflow = workflow
+        self.invocations = invocations
+        self.records: list[InvocationRecord] = []
+
+    def run(self) -> Generator:
+        """Simulation process: the client's send-wait loop."""
+        env = self.system.env
+        for _ in range(self.invocations):
+            record = yield env.process(self.system.invoke(self.workflow))
+            self.records.append(record)
+        return self.records
+
+
+class OpenLoopClient:
+    """Fixed-rate arrivals, optionally exponential (Poisson process)."""
+
+    def __init__(
+        self,
+        system: Invoker,
+        workflow: str,
+        invocations: int,
+        rate_per_minute: float,
+        poisson: bool = True,
+        seed: int = 13,
+    ):
+        if invocations < 1:
+            raise ValueError("invocations must be >= 1")
+        if rate_per_minute <= 0:
+            raise ValueError("rate_per_minute must be > 0")
+        self.system = system
+        self.workflow = workflow
+        self.invocations = invocations
+        self.interval = 60.0 / rate_per_minute
+        self.poisson = poisson
+        self.rng = random.Random(seed)
+        self.records: list[InvocationRecord] = []
+
+    def run(self) -> Generator:
+        """Simulation process: fire arrivals, then wait for stragglers."""
+        env = self.system.env
+        in_flight = []
+        for index in range(self.invocations):
+            process = env.process(
+                self._tracked_invoke(), name=f"open:{self.workflow}:{index}"
+            )
+            in_flight.append(process)
+            delay = (
+                self.rng.expovariate(1.0 / self.interval)
+                if self.poisson
+                else self.interval
+            )
+            yield env.timeout(delay)
+        yield env.all_of(in_flight)
+        return self.records
+
+    def _tracked_invoke(self) -> Generator:
+        record = yield self.system.env.process(
+            self.system.invoke(self.workflow)
+        )
+        self.records.append(record)
+
+
+def run_closed_loop(
+    system: Invoker, workflow: str, invocations: int
+) -> list[InvocationRecord]:
+    """Convenience: run a closed-loop client to completion."""
+    client = ClosedLoopClient(system, workflow, invocations)
+    return system.env.run(until=system.env.process(client.run()))
+
+
+def run_open_loop(
+    system: Invoker,
+    workflow: str,
+    invocations: int,
+    rate_per_minute: float,
+    poisson: bool = True,
+    seed: int = 13,
+) -> list[InvocationRecord]:
+    """Convenience: run an open-loop client to completion."""
+    client = OpenLoopClient(
+        system, workflow, invocations, rate_per_minute, poisson, seed
+    )
+    return system.env.run(until=system.env.process(client.run()))

@@ -1,0 +1,86 @@
+"""Tuning constants for the workflow engines.
+
+These model the per-message and per-event costs of the two schedule
+patterns.  The MasterSP costs are calibrated against the paper's §2.3
+measurement of HyperFlow-serverless (an average 712 ms scheduling
+overhead for 50-node scientific workflows); the WorkerSP costs against
+FaaSFlow's §5.2 numbers (141.9 ms for the same workflows).  The
+asymmetry is structural, not just a smaller constant: the central engine
+serializes every trigger decision and pays two network hops per
+function, while per-worker engines run in parallel and trigger local
+functions over an in-process RPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineConfig"]
+
+_KB = 1024.0
+
+
+@dataclass
+class EngineConfig:
+    """Knobs shared by the MasterSP and WorkerSP implementations."""
+
+    # MasterSP: the central engine handles every state transition and
+    # task dispatch in one serialized event loop (HyperFlow's enactment
+    # engine plus Docker dispatch on the master).
+    master_process_time: float = 0.014
+
+    # WorkerSP: a per-worker engine only bookkeeps its local sub-graph.
+    worker_process_time: float = 0.005
+
+    # Local function triggering via inner RPC (paper §3.1).
+    local_trigger_time: float = 0.0015
+
+    # Control-plane message sizes.
+    assign_message_size: float = 2 * _KB  # master -> worker task assignment
+    result_message_size: float = 1 * _KB  # worker -> master execution state
+    state_message_size: float = 1 * _KB  # worker -> worker state sync
+
+    # Whether intermediate data is shipped between functions.  The
+    # scheduling-overhead experiments (paper §2.3/§5.2) pre-pack inputs in
+    # the container image, i.e. no data plane traffic.
+    ship_data: bool = True
+
+    # Execution timeout: invocations whose functions exceed this are
+    # marked failed with the cap as their latency (paper §5.1: 60 s).
+    execution_timeout: float = 60.0
+
+    # How many times a crashed function task is retried (fresh
+    # container) before the invocation is declared failed.
+    max_retries: int = 2
+
+    # When enabled, switch steps execute only their selected arm at
+    # runtime (the DAG parser still provisions every arm, §4.1.1); the
+    # selection is a deterministic per-invocation hash so distributed
+    # engines agree without coordination.  Off by default: the paper's
+    # measurements treat switch like parallel.
+    evaluate_switches: bool = False
+
+    # Relative execution-time variance: each function execution's
+    # service time is multiplied by a lognormal factor with this
+    # coefficient of variation (0 = deterministic, the calibrated
+    # default).  Seeded per runtime, so runs stay reproducible.
+    service_time_jitter: float = 0.0
+    jitter_seed: int = 71
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "master_process_time",
+            "worker_process_time",
+            "local_trigger_time",
+            "assign_message_size",
+            "result_message_size",
+            "state_message_size",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if self.execution_timeout <= 0:
+            raise ValueError("execution_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.service_time_jitter < 0:
+            raise ValueError("service_time_jitter must be >= 0")

@@ -1,0 +1,69 @@
+"""Fault injection: function crashes and engine retry semantics.
+
+Real FaaS functions fail — OOM kills, runtime exceptions, node
+pressure — and a workflow engine must retry them and, past a retry
+budget, fail the invocation cleanly.  A :class:`FaultInjector` attached
+to either system makes function instances crash with configurable
+per-function probabilities (deterministic under its seed, so tests and
+experiments are reproducible); the runtime destroys the crashed
+container (its memory is freed, a fresh cold start follows on retry)
+and the engine retries up to ``EngineConfig.max_retries`` times before
+declaring the invocation failed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["FaultInjector", "FunctionFailure"]
+
+
+class FunctionFailure(Exception):
+    """A function task exhausted its retries."""
+
+    def __init__(self, function: str, attempts: int):
+        super().__init__(
+            f"function {function!r} failed after {attempts} attempt(s)"
+        )
+        self.function = function
+        self.attempts = attempts
+
+
+class FaultInjector:
+    """Decides which function executions crash.
+
+    ``default_rate`` applies to every function; ``rates`` overrides it
+    per function.  Sampling is deterministic under ``seed``.
+    """
+
+    def __init__(
+        self,
+        default_rate: float = 0.0,
+        rates: Optional[dict[str, float]] = None,
+        seed: int = 99,
+    ):
+        if not 0.0 <= default_rate <= 1.0:
+            raise ValueError("default_rate must be in [0, 1]")
+        self.default_rate = default_rate
+        self.rates = dict(rates or {})
+        for function, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"rate for {function!r} must be in [0, 1], got {rate}"
+                )
+        self._rng = random.Random(seed)
+        self.injected = 0
+
+    def rate_for(self, function: str) -> float:
+        return self.rates.get(function, self.default_rate)
+
+    def should_crash(self, function: str) -> bool:
+        """Sample whether this execution attempt crashes."""
+        rate = self.rate_for(function)
+        if rate <= 0.0:
+            return False
+        crashed = self._rng.random() < rate
+        if crashed:
+            self.injected += 1
+        return crashed

@@ -1,0 +1,272 @@
+"""Function grouping and scheduling — the paper's Algorithm 1.
+
+Partitioning a DAG optimally is NP-hard, so FaaSFlow greedily merges
+along the critical path: each iteration finds the heaviest edge of the
+critical path whose endpoint groups can legally merge — capacity on
+some worker, the workflow's in-memory quota, and no declared
+resource-contention pair inside the merged group — then re-bin-packs
+the merged group onto a worker.  Iteration stops when no edge can
+merge.
+
+The merge localizes the edge: the producer's storage type flips from
+'DB' to 'MEM' and the edge's data is charged against the quota, which
+is how data-heavy edges end up served by FaaStore.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..dag import WorkflowDAG, critical_path
+from .state import Placement
+
+__all__ = ["GroupingConfig", "GroupingResult", "group_functions", "GroupingError"]
+
+
+class GroupingError(ValueError):
+    """Grouping cannot produce a legal placement."""
+
+
+@dataclass
+class GroupingConfig:
+    """Inputs to Algorithm 1 beyond the DAG itself."""
+
+    workers: list[str]
+    node_capacity: dict[str, float]  # containers creatable per worker
+    quota: float  # Quota(G): in-memory bytes available (Eq. 2)
+    contention_pairs: frozenset[frozenset[str]] = frozenset()
+    seed: int = 7
+    # Cap on one group's instance count: a group's functions run
+    # co-resident and its parallel branches execute concurrently, so
+    # groups larger than the node's usable concurrency would serialize
+    # on cores.  Node capacity itself is memory-bound (functions in
+    # different stages share CPU over time).
+    max_group_instances: float = float("inf")
+    # Edges lighter than this carry no transmission cost worth saving:
+    # merging them gains nothing and only concentrates load, so the
+    # greedy loop skips them (e.g. the scheduling-overhead experiments,
+    # where inputs are pre-packed and every edge weighs zero).
+    min_edge_weight: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise GroupingError("need at least one worker")
+        missing = [w for w in self.workers if w not in self.node_capacity]
+        if missing:
+            raise GroupingError(f"no capacity entry for workers: {missing}")
+        if any(c < 0 for c in self.node_capacity.values()):
+            raise GroupingError("negative node capacity")
+        if self.quota < 0:
+            raise GroupingError("negative quota")
+
+
+@dataclass
+class GroupingResult:
+    """Output of Algorithm 1."""
+
+    groups: list[set[str]]
+    group_worker: list[str]  # worker of each group (parallel list)
+    placement: Placement
+    storage_type: dict[str, str]  # function -> 'DB' | 'MEM'
+    mem_consume: float  # quota bytes charged by localized edges
+    iterations: int
+
+    def group_of(self, function: str) -> int:
+        for index, group in enumerate(self.groups):
+            if function in group:
+                return index
+        raise KeyError(function)
+
+    @property
+    def localized_functions(self) -> list[str]:
+        return sorted(
+            f for f, t in self.storage_type.items() if t == "MEM"
+        )
+
+
+def _instances(dag: WorkflowDAG, functions: Iterable[str]) -> float:
+    """Container instances a set of functions needs (Scale * Map)."""
+    return sum(dag.node(f).effective_instances for f in functions)
+
+
+_LOCAL_COPY_RATE = 4096 * 1024 * 1024  # node-local memory bandwidth
+
+
+def group_functions(
+    dag: WorkflowDAG, config: GroupingConfig
+) -> GroupingResult:
+    """Run Algorithm 1 and return groups, placement, and storage types."""
+    rng = random.Random(config.seed)
+    # Work on a copy: localized edges get their weight dropped to the
+    # local-transfer estimate so the critical path moves to the next
+    # still-remote path (otherwise a single heavy fan-out edge would pin
+    # the critical path forever and iteration would stop after one
+    # merge).  The caller's DAG weights are left untouched.
+    dag = dag.copy()
+    names = dag.node_names
+    # Line 1: every function starts as its own group on a random worker.
+    groups: dict[int, set[str]] = {i: {name} for i, name in enumerate(names)}
+    group_of: dict[str, int] = {name: i for i, name in enumerate(names)}
+    worker_of: dict[int, str] = {}
+    capacity = dict(config.node_capacity)
+    for index, name in enumerate(names):
+        needed = dag.node(name).effective_instances
+        candidates = [w for w in config.workers if capacity[w] >= needed]
+        if not candidates:
+            raise GroupingError(
+                f"no worker can host {name!r} ({needed} instances)"
+            )
+        # Random among the roomiest candidates: keeps the paper's random
+        # initial assignment while not stranding capacity when the
+        # cluster is nearly full.
+        roomiest = max(capacity[w] for w in candidates)
+        best = [w for w in candidates if capacity[w] >= roomiest - 1e-9]
+        chosen = rng.choice(best)
+        worker_of[index] = chosen
+        capacity[chosen] -= needed
+    # Line 2: everything starts on the remote store.
+    storage_type = {
+        node.name: "DB" for node in dag.nodes if not node.is_virtual
+    }
+    mem_consume = 0.0
+    iterations = 0
+
+    while True:
+        iterations += 1
+        path = critical_path(dag)
+        edges = sorted(path.edges, key=lambda e: e.weight, reverse=True)
+        merged = False
+        for edge in edges:
+            if edge.weight < config.min_edge_weight:
+                break  # edges are weight-sorted: nothing left to save
+            start_group = group_of[edge.src]
+            end_group = group_of[edge.dst]
+            if start_group == end_group:
+                continue  # line 9: already together
+            members = groups[start_group] | groups[end_group]
+            needed = _instances(dag, members)
+            if needed > config.max_group_instances:
+                continue
+            # Line 12: the merged group must fit on the roomiest worker
+            # (counting the capacity its own parts would give back).
+            releasable: dict[str, float] = {}
+            for g in (start_group, end_group):
+                w = worker_of[g]
+                releasable[w] = releasable.get(w, 0.0) + _instances(dag, groups[g])
+            if needed > max(
+                capacity[w] + releasable.get(w, 0.0) for w in config.workers
+            ):
+                continue
+            # Line 19-20: no contention pair may end up co-located.
+            # (Checked before the quota charge so an abort here does not
+            # leak quota — the paper's pseudocode charges first.)
+            if _has_contention(members, config.contention_pairs):
+                continue
+            # Lines 13-18: localizing the edge consumes in-memory quota.
+            # The charge is the producer's worst-case residency: its
+            # output stays in the memory store until every consumer has
+            # fetched it, so `output_size * consumers` bytes must fit.
+            producer = edge.src
+            charged = 0.0
+            if (
+                not dag.node(producer).is_virtual
+                and storage_type.get(producer) == "DB"
+            ):
+                consumers = len(dag.data_consumers(producer))
+                charged = dag.node(producer).output_size * max(1, consumers)
+                if mem_consume + charged > config.quota:
+                    continue
+                mem_consume += charged
+                storage_type[producer] = "MEM"
+            # Lines 21-23: merge and bin-pack onto a worker.
+            for g in (start_group, end_group):
+                capacity[worker_of[g]] += _instances(dag, groups[g])
+            target = _binpack(config.workers, capacity, needed)
+            if target is None:  # pragma: no cover - guarded by line 12
+                for g in (start_group, end_group):
+                    capacity[worker_of[g]] -= _instances(dag, groups[g])
+                if charged:
+                    mem_consume -= charged
+                    storage_type[producer] = "DB"
+                continue
+            capacity[target] -= needed
+            new_id = max(groups) + 1
+            groups[new_id] = members
+            worker_of[new_id] = target
+            for name in members:
+                group_of[name] = new_id
+            del groups[start_group], groups[end_group]
+            del worker_of[start_group], worker_of[end_group]
+            # Intra-group edges now move at memory speed; reflect that
+            # in the working weights so the next critical path surfaces
+            # the remaining remote edges.
+            for intra in dag.edges:
+                if (
+                    group_of[intra.src] == new_id
+                    and group_of[intra.dst] == new_id
+                ):
+                    intra.weight = intra.data_size / _LOCAL_COPY_RATE
+            merged = True
+            break
+        if not merged:
+            break
+
+    # Post-pass (paper §3.2): FaaStore inspects successor locations at
+    # runtime, so a producer whose consumers all ended up in its own
+    # group may use the memory store even if no merge flipped it —
+    # provided the quota still covers its residency.
+    for name in dag.topological_order():
+        node = dag.node(name)
+        if node.is_virtual or storage_type.get(name) != "DB":
+            continue
+        consumers = dag.data_consumers(name)
+        if not consumers:
+            continue
+        if any(group_of[c] != group_of[name] for c in consumers):
+            continue
+        charge = node.output_size * len(consumers)
+        if mem_consume + charge <= config.quota:
+            mem_consume += charge
+            storage_type[name] = "MEM"
+
+    ordered = sorted(groups)
+    final_groups = [groups[g] for g in ordered]
+    final_workers = [worker_of[g] for g in ordered]
+    assignment = {
+        name: worker_of[group_of[name]] for name in names
+    }
+    placement = Placement(workflow=dag.name, assignment=assignment)
+    return GroupingResult(
+        groups=final_groups,
+        group_worker=final_workers,
+        placement=placement,
+        storage_type=storage_type,
+        mem_consume=mem_consume,
+        iterations=iterations,
+    )
+
+
+def _has_contention(
+    members: set[str], pairs: frozenset[frozenset[str]]
+) -> bool:
+    for pair in pairs:
+        if pair <= members:
+            return True
+    return False
+
+
+def _binpack(
+    workers: list[str], capacity: dict[str, float], needed: float
+) -> Optional[str]:
+    """Worst-fit: the roomiest worker that fits the group.
+
+    The paper's load balancer spreads groups to balance load and
+    resources across workers (§5.5), so co-scheduled workflows land on
+    different nodes instead of consolidating onto one.
+    """
+    fitting = [w for w in workers if capacity[w] >= needed]
+    if not fitting:
+        return None
+    return max(fitting, key=lambda w: (capacity[w], w))

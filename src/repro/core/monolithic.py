@@ -1,0 +1,136 @@
+"""Monolithic deployment baseline (paper §2.4, Fig. 5).
+
+All functions of the application run in one process on one server and
+call each other directly: intermediate data is written to process
+memory once and read by direct reference — no database, no network.
+This is the baseline Fig. 5 compares the data-shipping FaaS deployment
+against.
+
+The DAG still executes with its real parallelism (bounded by the node's
+cores), so the monolithic end-to-end latency is meaningful too; what
+the experiment reports is the *data movement*: one local write per
+producer output, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..dag import WorkflowDAG
+from ..metrics import (
+    InvocationRecord,
+    InvocationStatus,
+    MetricsCollector,
+    TransferEvent,
+)
+from ..sim import Cluster, Node
+from .master_engine import static_critical_exec
+from .state import InvocationState, new_invocation_id
+
+__all__ = ["MonolithicSystem"]
+
+
+class MonolithicSystem:
+    """Runs a workflow as a single multi-threaded process on one node."""
+
+    mode = "monolithic"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metrics: Optional[MetricsCollector] = None,
+        host: Optional[Node] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.host = host or cluster.workers[0]
+        self._workflows: dict[str, WorkflowDAG] = {}
+
+    def register(self, dag: WorkflowDAG) -> None:
+        dag.validate()
+        self._workflows[dag.name] = dag
+
+    def invoke(self, workflow: str) -> Generator:
+        """Simulation process: one monolithic invocation."""
+        dag = self._workflows[workflow]
+        invocation_id = new_invocation_id()
+        record = InvocationRecord(
+            workflow=workflow,
+            invocation_id=invocation_id,
+            mode=self.mode,
+            started_at=self.env.now,
+            critical_path_exec=static_critical_exec(dag),
+        )
+        state = InvocationState(invocation_id)
+        all_done = self.env.event()
+        remaining = {"count": len(dag.node_names)}
+        for source in dag.sources():
+            state.state_of(source).triggered = True
+            self.env.process(
+                self._run_function(dag, invocation_id, source, state, remaining, all_done),
+                name=f"mono:{workflow}:{source}",
+            )
+        yield all_done
+        record.finished_at = self.env.now
+        self.metrics.record_invocation(record)
+        return record
+
+    def _run_function(
+        self, dag, invocation_id, function, state, remaining, all_done
+    ) -> Generator:
+        node_meta = dag.node(function)
+        if not node_meta.is_virtual:
+            instances = max(1, int(round(node_meta.map_factor)))
+            workers = [
+                self.env.process(
+                    self._run_thread(node_meta.service_time),
+                    name=f"mono-thread:{function}#{i}",
+                )
+                for i in range(instances)
+            ]
+            yield self.env.all_of(workers)
+            if node_meta.output_size > 0 and dag.data_consumers(function):
+                # Direct inter-call: consumed intermediate data is
+                # materialized in process memory exactly once; terminal
+                # outputs go straight to the user and are not
+                # inter-function movement.
+                rate = self.cluster.network.config.local_copy_rate
+                duration = node_meta.output_size / rate
+                yield self.env.timeout(duration)
+                self.metrics.record_transfer(
+                    TransferEvent(
+                        workflow=dag.name,
+                        invocation_id=invocation_id,
+                        producer=function,
+                        consumer="",
+                        size=node_meta.output_size,
+                        duration=duration,
+                        phase="put",
+                        local=True,
+                    )
+                )
+        state.state_of(function).executed = True
+        remaining["count"] -= 1
+        if remaining["count"] == 0 and not all_done.triggered:
+            all_done.succeed()
+            return
+        for successor in dag.successors(function):
+            successor_state = state.state_of(successor)
+            successor_state.mark_predecessor_done()
+            if successor_state.ready(len(dag.predecessors(successor))):
+                successor_state.triggered = True
+                self.env.process(
+                    self._run_function(
+                        dag, invocation_id, successor, state, remaining, all_done
+                    ),
+                    name=f"mono:{dag.name}:{successor}",
+                )
+
+    def _run_thread(self, service_time: float) -> Generator:
+        request = self.host.cpu.request(1)
+        yield request
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.host.cpu.release(request)

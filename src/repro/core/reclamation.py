@@ -1,0 +1,124 @@
+"""FaaStore memory reclamation (paper §4.3, Equations 1-2).
+
+A function rarely uses all the memory its container is provisioned
+with.  For a function whose observed peak working set is ``S`` inside a
+container of ``Mem(v)``, FaaStore reclaims ``Mem(v) - S - mu`` (never
+negative), leaving a pessimistic safety margin ``mu`` for occasional
+spikes.  Mapped (foreach) nodes multiply by their average executor
+count.  The per-workflow in-memory quota is the sum over all function
+nodes (Eq. 2); deployed per node, it is the sum over the functions
+placed there — so FaaStore never takes memory beyond what the
+workflow's own containers gave up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dag import WorkflowDAG
+from .state import Placement
+
+__all__ = [
+    "ReclamationConfig",
+    "MemoryUsageHistory",
+    "over_provisioned",
+    "workflow_quota",
+    "per_node_quotas",
+]
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class ReclamationConfig:
+    """Reclamation policy knobs."""
+
+    container_memory: float = 256 * _MB  # Mem(v): the provisioned limit
+    mu: float = 32 * _MB  # pessimistic safety margin
+
+    def __post_init__(self) -> None:
+        if self.container_memory <= 0:
+            raise ValueError("container_memory must be > 0")
+        if self.mu < 0:
+            raise ValueError("mu must be >= 0")
+
+
+class MemoryUsageHistory:
+    """High-water marks of per-function memory use (the ``S`` of Eq. 1).
+
+    Before any runtime feedback exists, the declared node memory is the
+    (conservative) estimate.
+    """
+
+    def __init__(self) -> None:
+        self._peaks: dict[str, float] = {}
+
+    def observe(self, function: str, used: float) -> None:
+        if used < 0:
+            raise ValueError(f"negative memory observation for {function!r}")
+        current = self._peaks.get(function, 0.0)
+        self._peaks[function] = max(current, used)
+
+    def peak(self, function: str, default: float) -> float:
+        return self._peaks.get(function, default)
+
+    def known(self, function: str) -> bool:
+        return function in self._peaks
+
+    def __len__(self) -> int:
+        return len(self._peaks)
+
+
+def over_provisioned(
+    dag: WorkflowDAG,
+    function: str,
+    config: ReclamationConfig,
+    history: Optional[MemoryUsageHistory] = None,
+) -> float:
+    """Eq. 1: reclaimable bytes of one function node.
+
+    ``O(v) = max(Mem(v) - S - mu, 0) * Map(v)``
+    """
+    node = dag.node(function)
+    if node.is_virtual:
+        return 0.0
+    peak = node.memory
+    if history is not None:
+        peak = history.peak(function, default=node.memory)
+    surplus = max(config.container_memory - peak - config.mu, 0.0)
+    return surplus * max(node.map_factor, 1.0)
+
+
+def workflow_quota(
+    dag: WorkflowDAG,
+    config: ReclamationConfig,
+    history: Optional[MemoryUsageHistory] = None,
+) -> float:
+    """Eq. 2: the workflow's total in-memory storage quota."""
+    return sum(
+        over_provisioned(dag, node.name, config, history)
+        for node in dag.nodes
+    )
+
+
+def per_node_quotas(
+    dag: WorkflowDAG,
+    placement: Placement,
+    config: ReclamationConfig,
+    history: Optional[MemoryUsageHistory] = None,
+) -> dict[str, float]:
+    """Split the workflow quota across workers by function placement.
+
+    Each worker's FaaStore pool is backed exactly by the memory
+    reclaimed from the containers scheduled onto it, so the pool adds no
+    pressure to the node (paper §4.3.1).
+    """
+    quotas: dict[str, float] = {}
+    for node in dag.nodes:
+        if node.is_virtual:
+            continue
+        worker = placement.node_of(node.name)
+        quotas.setdefault(worker, 0.0)
+        quotas[worker] += over_provisioned(dag, node.name, config, history)
+    return quotas

@@ -1,0 +1,224 @@
+"""Function task execution on a worker node.
+
+Both schedule patterns run function tasks the same way (what differs is
+*who triggers them and how state moves*): acquire a container (cold
+start if no warm one), fetch the predecessors' outputs through the
+storage policy, execute on a CPU core for the service time, store the
+output, release the container.
+
+A foreach node executes as ``map_factor`` parallel instances
+(auto-scaling in the data plane, paper §4.1.2): each instance gets its
+own container, fetches its share of the input chunks, and writes one
+output chunk.  The runtime reports the instance count so the graph
+scheduler's feedback metrics (``Scale``/``Map``) can be updated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..dag import WorkflowDAG
+from ..sim import Cluster, Node
+from .config import EngineConfig
+from .faastore import DataPolicy
+from .faults import FaultInjector, FunctionFailure
+from .state import InvocationID, Placement
+
+__all__ = ["FunctionRuntime", "ExecutionResult"]
+
+
+@dataclass
+class ExecutionResult:
+    """What one function task's execution looked like."""
+
+    function: str
+    instances: int = 1
+    cold_starts: int = 0
+    retries: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class FunctionRuntime:
+    """Executes function tasks on simulated worker nodes."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: EngineConfig,
+        policy: DataPolicy,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.cluster = cluster
+        self.config = config
+        self.policy = policy
+        self.faults = faults
+        self.env = cluster.env
+        self._jitter_rng = (
+            random.Random(config.jitter_seed)
+            if config.service_time_jitter > 0
+            else None
+        )
+
+    def _service_time(self, nominal: float) -> float:
+        """Apply the configured execution-time variance."""
+        if self._jitter_rng is None or nominal <= 0:
+            return nominal
+        sigma = self.config.service_time_jitter
+        return nominal * self._jitter_rng.lognormvariate(
+            -0.5 * sigma * sigma, sigma
+        )
+
+    def execute(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        version: int = 1,
+    ) -> Generator:
+        """Simulation process: run ``function`` once; returns a result."""
+        node_meta = dag.node(function)
+        if node_meta.is_virtual:
+            raise ValueError(f"virtual node {function!r} cannot execute")
+        worker = self.cluster.node(placement.node_of(function))
+        instances = max(1, int(round(node_meta.map_factor)))
+        result = ExecutionResult(
+            function=function, instances=instances, started_at=self.env.now
+        )
+        instance_procs = [
+            self.env.process(
+                self._run_instance_with_retries(
+                    dag, placement, invocation_id, function, worker,
+                    version, index, instances, result,
+                ),
+                name=f"{function}#{index}",
+            )
+            for index in range(instances)
+        ]
+        try:
+            yield self.env.all_of(instance_procs)
+        except FunctionFailure:
+            raise
+        result.finished_at = self.env.now
+        return result
+
+    def _run_instance_with_retries(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        worker: Node,
+        version: int,
+        index: int,
+        instances: int,
+        result: ExecutionResult,
+    ) -> Generator:
+        attempts = self.config.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                yield from self._run_instance(
+                    dag, placement, invocation_id, function, worker,
+                    version, index, instances, result,
+                )
+                return
+            except FunctionFailure:
+                if attempt + 1 >= attempts:
+                    raise
+                result.retries += 1
+
+    def _run_instance(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        worker: Node,
+        version: int,
+        index: int,
+        instances: int,
+        result: ExecutionResult,
+    ) -> Generator:
+        node_meta = dag.node(function)
+        container = yield worker.containers.acquire(function, version)
+        if container.invocations == 1:
+            result.cold_starts += 1
+        crashed = False
+        try:
+            if self.config.ship_data:
+                yield from self._fetch_inputs(
+                    dag, placement, invocation_id, function, worker,
+                    index, instances,
+                )
+            cpu_request = worker.cpu.request(1)
+            yield cpu_request
+            try:
+                duration = self._service_time(node_meta.service_time)
+                if self.faults is not None and self.faults.should_crash(
+                    function
+                ):
+                    # The process dies partway through its work.
+                    yield self.env.timeout(duration / 2)
+                    crashed = True
+                    raise FunctionFailure(
+                        function, attempts=self.config.max_retries + 1
+                    )
+                yield self.env.timeout(duration)
+            finally:
+                worker.cpu.release(cpu_request)
+            container.note_memory_use(node_meta.memory)
+            if self.config.ship_data and node_meta.output_size > 0:
+                yield from self.policy.save_output(
+                    worker, dag, placement, invocation_id, function,
+                    chunk=index, size=node_meta.output_size / instances,
+                )
+        finally:
+            if crashed:
+                worker.containers.crash(container)
+            else:
+                worker.containers.release(container)
+
+    def _fetch_inputs(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        worker: Node,
+        index: int,
+        instances: int,
+    ) -> Generator:
+        """Fetch this instance's share of every producer's chunks.
+
+        Chunks are assigned round-robin across the consumer's instances,
+        so each chunk is fetched exactly once per consumer function and
+        the bytes moved per (producer, consumer) pair equal the
+        producer's full output.
+        """
+        fetches = []
+        for producer, total_size in dag.data_dependencies(function):
+            if total_size <= 0:
+                continue
+            producer_chunks = max(1, int(round(dag.node(producer).map_factor)))
+            chunk_size = total_size / producer_chunks
+            for chunk in range(producer_chunks):
+                if chunk % instances != index:
+                    continue
+                fetches.append(
+                    self.env.process(
+                        self.policy.fetch_input(
+                            worker, dag, placement, invocation_id,
+                            producer, function, chunk, chunk_size,
+                        ),
+                        name=f"fetch:{producer}->{function}/{chunk}",
+                    )
+                )
+        if fetches:
+            yield self.env.all_of(fetches)

@@ -1,0 +1,62 @@
+"""Runtime switch-branch selection.
+
+The DAG parser lowers a switch step like a parallel step (the paper's
+§4.1.1: containers are maintained for every branch), but at *runtime*
+only one arm's functions should actually execute.  With
+``EngineConfig.evaluate_switches`` enabled, both engines consult this
+module before running a function: non-selected arms are completed
+without execution (zero work, no data ops), so fan-in predecessor
+counting stays intact.
+
+Selection is a deterministic hash of ``(workflow, invocation, switch)``
+— every distributed worker engine computes the same choice with no
+coordination message.  Tests and applications can pin a specific arm by
+setting ``force_case`` in the switch-start node's metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..dag import WorkflowDAG
+
+__all__ = ["selected_case", "is_skipped"]
+
+
+def selected_case(
+    workflow: str,
+    invocation_id: int,
+    switch: str,
+    case_count: int,
+    force_case=None,
+) -> int:
+    """Which arm of ``switch`` this invocation takes (0-based)."""
+    if case_count < 1:
+        raise ValueError("case_count must be >= 1")
+    if force_case is not None:
+        if not 0 <= int(force_case) < case_count:
+            raise ValueError(
+                f"force_case {force_case} outside [0, {case_count})"
+            )
+        return int(force_case)
+    digest = hashlib.sha256(
+        f"{workflow}/{invocation_id}/{switch}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % case_count
+
+
+def is_skipped(dag: WorkflowDAG, function: str, invocation_id: int) -> bool:
+    """Is ``function`` on a non-selected switch arm for this invocation?"""
+    node = dag.node(function)
+    switch = node.metadata.get("switch")
+    if switch is None:
+        return False
+    start = dag.node(f"{switch}.start")
+    chosen = selected_case(
+        dag.name,
+        invocation_id,
+        switch,
+        case_count=int(start.metadata.get("case_count", 1)),
+        force_case=start.metadata.get("force_case"),
+    )
+    return int(node.metadata["switch_case"]) != chosen

@@ -1,0 +1,125 @@
+"""Execution tracing: a structured event log of engine decisions.
+
+Attach a :class:`Tracer` to either workflow system to record what the
+engines actually did — when each function triggered and finished, which
+node ran it, where state-sync messages flowed, and when containers
+cold-started.  Tests use it to assert execution invariants (every
+function exactly once per invocation, never before its predecessors);
+users get a timeline for debugging placements.
+
+Tracing is opt-in and costs nothing when absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer", "Kind"]
+
+
+class Kind:
+    """Event kinds emitted by the instrumented systems."""
+
+    INVOCATION_START = "invocation-start"
+    INVOCATION_END = "invocation-end"
+    FUNCTION_TRIGGERED = "function-triggered"
+    FUNCTION_EXECUTED = "function-executed"
+    STATE_SYNC = "state-sync"
+    TASK_ASSIGNED = "task-assigned"
+    COLD_START = "cold-start"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    kind: str
+    workflow: str
+    invocation_id: int
+    function: str = ""
+    node: str = ""
+    detail: str = ""
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` records with query helpers."""
+
+    def __init__(self, limit: int = 1_000_000):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        workflow: str,
+        invocation_id: int,
+        function: str = "",
+        node: str = "",
+        detail: str = "",
+    ) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time=time,
+                kind=kind,
+                workflow=workflow,
+                invocation_id=invocation_id,
+                function=function,
+                node=node,
+                detail=detail,
+            )
+        )
+
+    # -- queries ------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_invocation(self, invocation_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.invocation_id == invocation_id]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def execution_counts(self, invocation_id: int) -> dict[str, int]:
+        """How many times each function executed in one invocation."""
+        counts: dict[str, int] = {}
+        for event in self.of_invocation(invocation_id):
+            if event.kind == Kind.FUNCTION_EXECUTED:
+                counts[event.function] = counts.get(event.function, 0) + 1
+        return counts
+
+    def execution_time(self, invocation_id: int, function: str) -> float:
+        """Completion time of ``function`` in ``invocation_id``."""
+        for event in self.of_invocation(invocation_id):
+            if (
+                event.kind == Kind.FUNCTION_EXECUTED
+                and event.function == function
+            ):
+                return event.time
+        raise KeyError(
+            f"{function!r} did not execute in invocation {invocation_id}"
+        )
+
+    def timeline(self, invocation_id: int) -> str:
+        """Human-readable trace of one invocation."""
+        lines = []
+        for event in self.of_invocation(invocation_id):
+            location = f" @{event.node}" if event.node else ""
+            subject = f" {event.function}" if event.function else ""
+            detail = f" ({event.detail})" if event.detail else ""
+            lines.append(
+                f"{event.time:10.4f}  {event.kind:<19}{subject}{location}{detail}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

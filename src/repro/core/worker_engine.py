@@ -1,0 +1,512 @@
+"""FaaSFlow's WorkerSP: per-worker engines with local triggering (§3.1, §4.2).
+
+Each worker node runs a :class:`WorkerEngine` holding the *Workflow*
+structures (sub-graphs) the graph scheduler assigned to it.  When a
+local function finishes, the engine inspects its successors: local ones
+are triggered over an in-process RPC; remote ones receive a state
+message over a worker-to-worker TCP connection.  No task assignment
+ever crosses the network — the master only partitions graphs and
+(acting as the client) receives the final execution state from the
+sink functions' workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..dag import WorkflowDAG
+from ..metrics import (
+    InvocationRecord,
+    InvocationStatus,
+    MetricsCollector,
+)
+from ..sim import Cluster, Node, Resource
+from .config import EngineConfig
+from .faastore import DataPolicy, FaaStorePolicy
+from .faults import FaultInjector, FunctionFailure
+from .master_engine import static_critical_exec
+from .runtime import FunctionRuntime
+from .switching import is_skipped
+from .state import (
+    InvocationID,
+    Placement,
+    WorkflowStructure,
+    new_invocation_id,
+)
+from .tracing import Kind, Tracer
+
+__all__ = ["WorkerEngine", "FaaSFlowSystem"]
+
+
+@dataclass
+class _InvocationContext:
+    """Client-side bookkeeping for one in-flight invocation."""
+
+    record: InvocationRecord
+    version: int
+    sinks_remaining: int
+    all_done: object  # kernel Event
+    failed: object = None  # kernel Event
+
+
+@dataclass
+class _DeployedWorkflow:
+    dag: WorkflowDAG
+    placement: Placement
+    critical_exec: float
+    live_invocations: int = 0
+
+
+class WorkerEngine:
+    """The decentralized engine on one worker node."""
+
+    def __init__(self, system: "FaaSFlowSystem", node: Node):
+        self.system = system
+        self.node = node
+        self.env = node.env
+        self._lock = Resource(self.env, capacity=1)
+        # (workflow, version) -> structure for the local sub-graph.
+        self._structures: dict[tuple[str, int], WorkflowStructure] = {}
+        self.states_synced = 0  # cross-worker state messages received
+        self.events_handled = 0  # engine-loop steps executed
+        self.busy_time = 0.0  # seconds the engine loop was occupied
+
+    # -- deployment ---------------------------------------------------------
+    def deploy(self, structure: WorkflowStructure) -> None:
+        self._structures[(structure.workflow, structure.version)] = structure
+
+    def retire(self, workflow: str, version: int) -> None:
+        """Red-black support: drop an out-of-date sub-graph version."""
+        structure = self._structures.pop((workflow, version), None)
+        if structure is None:
+            return
+        for function in structure.local_functions:
+            if not structure.info(function).is_virtual:
+                self.node.containers.recycle_version(function, version + 1)
+
+    def structure(self, workflow: str, version: int) -> WorkflowStructure:
+        try:
+            return self._structures[(workflow, version)]
+        except KeyError:
+            raise KeyError(
+                f"no sub-graph of {workflow!r} v{version} on {self.node.name}"
+            ) from None
+
+    def has_structure(self, workflow: str, version: int) -> bool:
+        return (workflow, version) in self._structures
+
+    @property
+    def deployed_count(self) -> int:
+        return len(self._structures)
+
+    # -- engine event loop ----------------------------------------------------
+    def _engine_step(self) -> Generator:
+        request = self._lock.request()
+        yield request
+        try:
+            yield self.env.timeout(self.system.config.worker_process_time)
+            self.events_handled += 1
+            self.busy_time += self.system.config.worker_process_time
+        finally:
+            self._lock.release(request)
+
+    # -- state synchronization (paper Fig. 6) ---------------------------------
+    def receive_state_update(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> Generator:
+        """A predecessor of a local ``function`` finished somewhere."""
+        yield from self._engine_step()
+        structure = self.structure(workflow, version)
+        info = structure.info(function)
+        state = structure.invocation(invocation_id).state_of(function)
+        state.mark_predecessor_done()
+        if state.ready(info.predecessors_count):
+            state.triggered = True
+            self.env.process(
+                self.run_function(workflow, version, invocation_id, function),
+                name=f"worker:{self.node.name}:{function}",
+            )
+
+    def trigger_source(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> Generator:
+        """Invocation request for an entry function arrived at this node."""
+        yield from self._engine_step()
+        structure = self.structure(workflow, version)
+        state = structure.invocation(invocation_id).state_of(function)
+        if not state.triggered:
+            state.triggered = True
+            self.env.process(
+                self.run_function(workflow, version, invocation_id, function),
+                name=f"worker:{self.node.name}:{function}",
+            )
+
+    # -- local execution -----------------------------------------------------
+    def run_function(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> Generator:
+        structure = self.structure(workflow, version)
+        info = structure.info(function)
+        self.system.trace(
+            Kind.FUNCTION_TRIGGERED, workflow, invocation_id,
+            function=function, node=self.node.name,
+        )
+        skipped = (
+            self.system.config.evaluate_switches
+            and not info.is_virtual
+            and is_skipped(structure.dag, function, invocation_id)
+        )
+        if info.is_virtual or skipped:
+            # Virtual step markers (and non-selected switch arms) cost
+            # one local bookkeeping action, no container and no data.
+            yield self.env.timeout(self.system.config.local_trigger_time)
+            if skipped:
+                self.system.trace(
+                    Kind.FUNCTION_EXECUTED, workflow, invocation_id,
+                    function=function, node=self.node.name, detail="skipped",
+                )
+        else:
+            try:
+                result = yield self.env.process(
+                    self.system.runtime.execute(
+                        structure.dag,
+                        structure.placement,
+                        invocation_id,
+                        function,
+                        version=version,
+                    )
+                )
+            except FunctionFailure:
+                # The task exhausted its retries: report the failure to
+                # the client like a sink would report success.
+                yield self.system.network.message(
+                    self.node.nic,
+                    self.system.client_node.nic,
+                    self.system.config.result_message_size,
+                    tag=f"failure:{function}",
+                )
+                self.system.invocation_failed(
+                    structure.workflow, invocation_id, function
+                )
+                return
+            context = self.system.context(invocation_id)
+            if context is not None:
+                context.record.cold_starts += result.cold_starts
+            if result.cold_starts:
+                self.system.trace(
+                    Kind.COLD_START, workflow, invocation_id,
+                    function=function, node=self.node.name,
+                    detail=str(result.cold_starts),
+                )
+        structure.invocation(invocation_id).state_of(function).executed = True
+        self.system.trace(
+            Kind.FUNCTION_EXECUTED, workflow, invocation_id,
+            function=function, node=self.node.name,
+        )
+        yield from self._propagate(structure, invocation_id, function)
+
+    def _propagate(
+        self,
+        structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> Generator:
+        info = structure.info(function)
+        if not info.successors:
+            # A sink finished: report the execution state to the client.
+            yield self.system.network.message(
+                self.node.nic,
+                self.system.client_node.nic,
+                self.system.config.result_message_size,
+                tag=f"sink:{function}",
+            )
+            self.system.sink_completed(structure.workflow, invocation_id)
+            return
+        for successor in info.successors:
+            target = info.successor_locations[successor]
+            if target == self.node.name:
+                self.env.process(
+                    self._notify_local(structure, invocation_id, successor),
+                    name=f"rpc:{function}->{successor}",
+                )
+            else:
+                self.env.process(
+                    self._notify_remote(structure, invocation_id, successor, target),
+                    name=f"sync:{function}->{successor}",
+                )
+
+    def _notify_local(
+        self,
+        structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        successor: str,
+    ) -> Generator:
+        yield self.env.timeout(self.system.config.local_trigger_time)
+        yield from self.receive_state_update(
+            structure.workflow, structure.version, invocation_id, successor
+        )
+
+    def _notify_remote(
+        self,
+        structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        successor: str,
+        target: str,
+    ) -> Generator:
+        remote_engine = self.system.engine(target)
+        yield self.system.network.message(
+            self.node.nic,
+            remote_engine.node.nic,
+            self.system.config.state_message_size,
+            tag=f"state:{successor}",
+        )
+        remote_engine.states_synced += 1
+        self.system.trace(
+            Kind.STATE_SYNC, structure.workflow, invocation_id,
+            function=successor, node=remote_engine.node.name,
+            detail=f"from {self.node.name}",
+        )
+        yield from remote_engine.receive_state_update(
+            structure.workflow, structure.version, invocation_id, successor
+        )
+
+
+class FaaSFlowSystem:
+    """The WorkerSP workflow system: graph-partitioned distributed engines."""
+
+    mode = "worker-sp"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[EngineConfig] = None,
+        policy: Optional[DataPolicy] = None,
+        metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.network = cluster.network
+        self.config = config or EngineConfig()
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.policy = policy or FaaStorePolicy(cluster, self.metrics)
+        self.runtime = FunctionRuntime(
+            cluster, self.config, self.policy, faults=faults
+        )
+        # The master node doubles as the invoking client (paper §5.1).
+        self.client_node = cluster.storage_node
+        self.engines: dict[str, WorkerEngine] = {
+            worker.name: WorkerEngine(self, worker)
+            for worker in cluster.workers
+        }
+        self._deployed: dict[tuple[str, int], _DeployedWorkflow] = {}
+        self._current_version: dict[str, int] = {}
+        self._contexts: dict[InvocationID, _InvocationContext] = {}
+
+    # -- deployment ---------------------------------------------------------
+    def engine(self, worker_name: str) -> WorkerEngine:
+        try:
+            return self.engines[worker_name]
+        except KeyError:
+            raise KeyError(f"no engine on {worker_name!r}") from None
+
+    def deploy(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        quotas: Optional[dict[str, float]] = None,
+        prewarm: int = 0,
+        container_limits: Optional[dict[str, float]] = None,
+    ) -> None:
+        """Distribute sub-graphs to the worker engines (one version).
+
+        ``quotas`` (worker name -> bytes, from the scheduler's
+        reclamation pass) pins each node's FaaStore pool; omit it to
+        leave the pools unchanged.  ``prewarm`` starts that many
+        containers per function on its placed worker so first
+        invocations skip the cold start.  Re-deploying an
+        already-deployed workflow performs a red-black rollout: the new
+        version becomes current immediately, old versions drain and are
+        retired once their invocations finish.
+        """
+        dag.validate()
+        placement.validate_against(dag)
+        if quotas is not None:
+            for worker in self.cluster.workers:
+                worker.set_faastore_quota(
+                    quotas.get(worker.name, 0.0), workflow=dag.name
+                )
+        if container_limits:
+            # Fig. 10(b): the reclaimed memory physically comes out of
+            # each function's own containers.
+            for function, limit in container_limits.items():
+                worker = self.cluster.node(placement.node_of(function))
+                worker.containers.set_function_limit(function, limit)
+        previous = self._current_version.get(dag.name)
+        version = (previous or 0) + 1
+        placement = placement.with_version(version)
+        for worker_name, engine in self.engines.items():
+            local = placement.functions_on(worker_name)
+            if local:
+                engine.deploy(
+                    WorkflowStructure(dag, placement, local, version=version)
+                )
+        if prewarm > 0:
+            for node in dag.real_nodes():
+                worker = self.cluster.node(placement.node_of(node.name))
+                instances = max(1, int(round(node.map_factor))) * prewarm
+                worker.containers.prewarm(
+                    node.name, count=instances, version=version
+                )
+        self._deployed[(dag.name, version)] = _DeployedWorkflow(
+            dag=dag,
+            placement=placement,
+            critical_exec=static_critical_exec(dag),
+        )
+        self._current_version[dag.name] = version
+        if previous is not None:
+            self._try_retire(dag.name, previous)
+
+    def current_version(self, workflow: str) -> int:
+        try:
+            return self._current_version[workflow]
+        except KeyError:
+            raise KeyError(f"workflow {workflow!r} is not deployed") from None
+
+    def deployed(self, workflow: str, version: Optional[int] = None):
+        if version is None:
+            version = self.current_version(workflow)
+        return self._deployed[(workflow, version)]
+
+    def _try_retire(self, workflow: str, version: int) -> None:
+        deployed = self._deployed.get((workflow, version))
+        if deployed is None or deployed.live_invocations > 0:
+            return
+        if version == self._current_version.get(workflow):
+            return
+        del self._deployed[(workflow, version)]
+        for engine in self.engines.values():
+            engine.retire(workflow, version)
+
+    # -- invocation ----------------------------------------------------------
+    def context(self, invocation_id: InvocationID) -> Optional[_InvocationContext]:
+        return self._contexts.get(invocation_id)
+
+    def invoke(self, workflow: str) -> Generator:
+        """Simulation process: one end-to-end invocation (client side)."""
+        version = self.current_version(workflow)
+        deployed = self._deployed[(workflow, version)]
+        dag, placement = deployed.dag, deployed.placement
+        invocation_id = new_invocation_id()
+        record = InvocationRecord(
+            workflow=workflow,
+            invocation_id=invocation_id,
+            mode=self.mode,
+            started_at=self.env.now,
+            critical_path_exec=deployed.critical_exec,
+        )
+        context = _InvocationContext(
+            record=record,
+            version=version,
+            sinks_remaining=len(dag.sinks()),
+            all_done=self.env.event(),
+            failed=self.env.event(),
+        )
+        self._contexts[invocation_id] = context
+        deployed.live_invocations += 1
+        self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        # The client ships the invocation request to each entry
+        # function's worker; from there everything is worker-side.
+        for source in dag.sources():
+            self.env.process(
+                self._send_invocation(
+                    workflow, version, invocation_id, source, placement
+                ),
+                name=f"invoke:{workflow}:{source}",
+            )
+        timeout = self.env.timeout(self.config.execution_timeout)
+        finished = yield self.env.any_of(
+            [context.all_done, context.failed, timeout]
+        )
+        if context.all_done in finished:
+            record.finished_at = self.env.now
+        elif context.failed in finished:
+            record.status = InvocationStatus.FAILED
+            record.finished_at = self.env.now
+        else:
+            record.status = InvocationStatus.TIMEOUT
+            record.finished_at = record.started_at + self.config.execution_timeout
+        self.policy.cleanup_invocation(dag, invocation_id)
+        self.metrics.record_invocation(record)
+        self.trace(
+            Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
+        )
+        self._contexts.pop(invocation_id, None)
+        # Release the per-invocation *State* objects on every engine
+        # that holds a sub-graph of this workflow (paper §4.2.1).
+        for engine in self.engines.values():
+            if engine.has_structure(workflow, version):
+                engine.structure(workflow, version).release_invocation(
+                    invocation_id
+                )
+        deployed.live_invocations -= 1
+        if version != self._current_version.get(workflow):
+            self._try_retire(workflow, version)
+        return record
+
+    def _send_invocation(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        source: str,
+        placement: Placement,
+    ) -> Generator:
+        engine = self.engine(placement.node_of(source))
+        yield self.network.message(
+            self.client_node.nic,
+            engine.node.nic,
+            self.config.assign_message_size,
+            tag=f"invoke:{source}",
+        )
+        yield from engine.trigger_source(workflow, version, invocation_id, source)
+
+    def trace(self, kind: str, workflow: str, invocation_id: InvocationID,
+              function: str = "", node: str = "", detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, kind, workflow, invocation_id,
+                function=function, node=node, detail=detail,
+            )
+
+    def invocation_failed(
+        self, workflow: str, invocation_id: InvocationID, function: str
+    ) -> None:
+        context = self._contexts.get(invocation_id)
+        if context is None:
+            return  # already timed out / torn down
+        if context.failed is not None and not context.failed.triggered:
+            context.failed.succeed(function)
+
+    def sink_completed(self, workflow: str, invocation_id: InvocationID) -> None:
+        context = self._contexts.get(invocation_id)
+        if context is None:
+            return  # invocation already timed out and was torn down
+        context.sinks_remaining -= 1
+        if context.sinks_remaining == 0 and not context.all_done.triggered:
+            context.all_done.succeed()

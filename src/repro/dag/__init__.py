@@ -1,0 +1,19 @@
+"""Workflow DAG core: structure and analysis."""
+
+from .analysis import CriticalPath, critical_path, estimate_edge_weights, path_length
+from .graph import DataEdge, DAGError, FunctionNode, WorkflowDAG
+from .interop import from_networkx, to_dot, to_networkx
+
+__all__ = [
+    "CriticalPath",
+    "critical_path",
+    "DataEdge",
+    "DAGError",
+    "estimate_edge_weights",
+    "from_networkx",
+    "FunctionNode",
+    "path_length",
+    "to_dot",
+    "to_networkx",
+    "WorkflowDAG",
+]

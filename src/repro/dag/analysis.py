@@ -1,0 +1,98 @@
+"""Graph analysis used by the scheduler: critical path, weights, stats.
+
+The grouping algorithm (paper Algorithm 1) repeatedly finds the critical
+path of the workflow DAG — the longest chain of node execution times
+plus edge transmission latencies — and merges the functions joined by
+its heaviest edge.  This module provides that computation plus the
+edge-weight estimation used before runtime feedback exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import DataEdge, DAGError, WorkflowDAG
+
+__all__ = ["CriticalPath", "critical_path", "estimate_edge_weights", "path_length"]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest node+edge-weighted path through a DAG."""
+
+    nodes: tuple[str, ...]
+    edges: tuple[DataEdge, ...]
+    length: float  # seconds: sum of node service times and edge weights
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def critical_path(dag: WorkflowDAG) -> CriticalPath:
+    """Longest path where node cost = service time, edge cost = weight.
+
+    Runs in O(V + E) over the topological order.  Deterministic: ties are
+    broken by topological position.
+    """
+    order = dag.topological_order()
+    if not order:
+        raise DAGError("empty DAG has no critical path")
+    best: dict[str, float] = {}
+    best_pred: dict[str, str | None] = {}
+    for name in order:
+        node = dag.node(name)
+        incoming_best = 0.0
+        chosen: str | None = None
+        for edge in dag.in_edges(name):
+            candidate = best[edge.src] + edge.weight
+            if candidate > incoming_best + 1e-15:
+                incoming_best = candidate
+                chosen = edge.src
+        # Entry nodes have no incoming contribution.
+        if chosen is None and dag.predecessors(name):
+            # All incoming paths weigh zero; keep a deterministic parent.
+            chosen = dag.predecessors(name)[0]
+        best[name] = incoming_best + node.service_time
+        best_pred[name] = chosen
+    tail = max(order, key=lambda n: (best[n], -order.index(n)))
+    names: list[str] = []
+    cursor: str | None = tail
+    while cursor is not None:
+        names.append(cursor)
+        cursor = best_pred[cursor]
+    names.reverse()
+    edges = tuple(
+        dag.edge(src, dst) for src, dst in zip(names, names[1:])
+    )
+    return CriticalPath(tuple(names), edges, best[tail])
+
+
+def path_length(dag: WorkflowDAG, names: list[str]) -> float:
+    """Length of an explicit path (node costs + edge weights)."""
+    total = 0.0
+    for name in names:
+        total += dag.node(name).service_time
+    for src, dst in zip(names, names[1:]):
+        total += dag.edge(src, dst).weight
+    return total
+
+
+def estimate_edge_weights(
+    dag: WorkflowDAG,
+    bandwidth: float,
+    db_op_latency: float = 0.002,
+    round_trips: int = 2,
+) -> None:
+    """Seed edge weights from data size and nominal bandwidth.
+
+    Before the first partition iteration no runtime 99%-ile latencies
+    exist, so the parser estimates: every data-shipping edge costs a
+    store round trip (producer put + consumer get) at the nominal
+    storage bandwidth plus per-op latency.  Runtime feedback overwrites
+    these (see :mod:`repro.core.scheduler`).
+    """
+    if bandwidth <= 0:
+        raise DAGError(f"bandwidth must be > 0, got {bandwidth}")
+    for edge in dag.edges:
+        transfer = round_trips * edge.data_size / bandwidth
+        edge.weight = transfer + round_trips * db_op_latency

@@ -1,0 +1,99 @@
+"""Interoperability: WorkflowDAG <-> networkx / Graphviz DOT.
+
+``networkx`` opens the workflow graphs to the whole graph-algorithm
+ecosystem (and provides an independent oracle for our own topological /
+critical-path code in tests); DOT export renders them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .graph import DAGError, FunctionNode, WorkflowDAG
+
+__all__ = ["to_networkx", "from_networkx", "to_dot"]
+
+_NODE_ATTRS = (
+    "service_time",
+    "memory",
+    "output_size",
+    "is_virtual",
+    "scale",
+    "map_factor",
+    "step_type",
+)
+
+
+def to_networkx(dag: WorkflowDAG) -> "nx.DiGraph":
+    """Convert to a :class:`networkx.DiGraph` with full attributes."""
+    graph = nx.DiGraph(name=dag.name)
+    for node in dag.nodes:
+        graph.add_node(
+            node.name, **{attr: getattr(node, attr) for attr in _NODE_ATTRS}
+        )
+    for edge in dag.edges:
+        graph.add_edge(
+            edge.src, edge.dst, data_size=edge.data_size, weight=edge.weight
+        )
+    return graph
+
+
+def from_networkx(graph: "nx.DiGraph", name: str = "") -> WorkflowDAG:
+    """Build a :class:`WorkflowDAG` from a directed acyclic nx graph.
+
+    Node attributes matching :class:`FunctionNode` fields are honored;
+    anything else is ignored.  Raises :class:`DAGError` on cycles.
+    """
+    if not nx.is_directed_acyclic_graph(graph):
+        raise DAGError("graph contains a cycle")
+    dag = WorkflowDAG(name or graph.graph.get("name") or "imported")
+    for node_name, attrs in graph.nodes(data=True):
+        fields = {
+            attr: attrs[attr] for attr in _NODE_ATTRS if attr in attrs
+        }
+        dag.add_node(FunctionNode(name=str(node_name), **fields))
+    for src, dst, attrs in graph.edges(data=True):
+        dag.add_edge(
+            str(src),
+            str(dst),
+            data_size=attrs.get("data_size", 0.0),
+            weight=attrs.get("weight", 0.0),
+        )
+    return dag
+
+
+def to_dot(dag: WorkflowDAG, placement=None) -> str:
+    """Render as Graphviz DOT.
+
+    Virtual nodes draw as points; if a ``placement`` is given, nodes are
+    clustered per worker so the partition is visible.
+    """
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;"]
+    if placement is None:
+        for node in dag.nodes:
+            lines.append(f"  {_dot_node(node)}")
+    else:
+        by_worker: dict[str, list] = {}
+        for node in dag.nodes:
+            by_worker.setdefault(placement.node_of(node.name), []).append(node)
+        for index, (worker, nodes) in enumerate(sorted(by_worker.items())):
+            lines.append(f'  subgraph "cluster_{index}" {{')
+            lines.append(f'    label="{worker}";')
+            for node in nodes:
+                lines.append(f"    {_dot_node(node)}")
+            lines.append("  }")
+    for edge in dag.edges:
+        mb = edge.data_size / (1024.0 * 1024.0)
+        label = f' [label="{mb:.1f}MB"]' if mb >= 0.05 else ""
+        lines.append(f'  "{edge.src}" -> "{edge.dst}"{label};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_node(node: FunctionNode) -> str:
+    if node.is_virtual:
+        return f'"{node.name}" [shape=point];'
+    label = f"{node.name}\\n{node.service_time * 1000:.0f}ms"
+    if node.map_factor > 1:
+        label += f" x{node.map_factor:.0f}"
+    return f'"{node.name}" [shape=box, label="{label}"];'

@@ -1,0 +1,19 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+| module | paper artifact |
+|--------|----------------|
+| fig04_master_overhead       | Fig. 4 - MasterSP scheduling overhead |
+| fig05_data_movement         | Fig. 5 - monolithic vs FaaS data movement |
+| fig11_sched_overhead        | Fig. 11 - MasterSP vs WorkerSP overhead |
+| tab04_transfer_latency      | Table 4 - per-edge transfer latency |
+| fig12_bandwidth_sweep       | Fig. 12 - p99 vs load across bandwidths |
+| fig13_tail_latency          | Fig. 13 - p99 at 50 MB/s, 6 inv/min |
+| fig14_colocation            | Fig. 14 - co-location interference |
+| fig15_grouping              | Fig. 15 - grouping & scheduling result |
+| fig16_scheduler_scalability | Fig. 16 - scheduler cost vs size |
+| sec57_component_overhead    | Sec. 5.7 - worker-engine overhead |
+"""
+
+from .common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,161 @@
+"""Ablation study: what each FaaSFlow mechanism contributes.
+
+Four controlled comparisons over the benchmarks where each mechanism is
+load-bearing (also exercised as benches in
+``benchmarks/test_bench_ablation.py``):
+
+1. partition strategy — Algorithm 1 vs hash vs one-function-per-node;
+2. FaaStore on/off at the same grouped placement;
+3. the reclamation safety margin mu;
+4. the remote store's request concurrency.
+"""
+
+from __future__ import annotations
+
+from ..clients import run_closed_loop
+from ..core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    GraphScheduler,
+    HyperFlowServerlessSystem,
+    Placement,
+    ReclamationConfig,
+    RemoteStorePolicy,
+    hash_partition,
+)
+from ..dag import estimate_edge_weights
+from ..sim import Cluster, ClusterConfig, ContainerSpec, Environment, MB
+from ..workloads import build
+from .common import ExperimentResult, make_cluster
+
+__all__ = ["run"]
+
+
+def _grouped_system(cluster, reclamation=None, policy=None):
+    system = FaaSFlowSystem(cluster, EngineConfig(ship_data=True))
+    if policy is not None:
+        system.policy = policy(cluster, system.metrics)
+        system.runtime.policy = system.policy
+    scheduler = GraphScheduler(cluster, reclamation=reclamation)
+    return system, scheduler
+
+
+def _deploy_grouped(system, scheduler, dag):
+    estimate_edge_weights(dag, bandwidth=system.cluster.config.storage_bandwidth)
+    placement, quotas, _ = scheduler.schedule(dag, force_grouping=True)
+    system.deploy(dag, placement, quotas=quotas)
+
+
+def _mean_latency(records):
+    warm = records[1:] or records
+    return sum(r.latency for r in warm) / len(warm)
+
+
+def _partition_strategy(invocations: int):
+    rows = []
+    for strategy in ("greedy (Alg. 1)", "hash", "singleton"):
+        cluster = make_cluster()
+        system, scheduler = _grouped_system(cluster)
+        dag = build("epigenomics")
+        if strategy.startswith("greedy"):
+            _deploy_grouped(system, scheduler, dag)
+        elif strategy == "hash":
+            placement = hash_partition(dag, cluster.worker_names())
+            _, quotas, _ = scheduler.schedule(dag)
+            system.deploy(dag, placement, quotas=quotas)
+        else:
+            workers = cluster.worker_names()
+            assignment = {
+                name: workers[i % len(workers)]
+                for i, name in enumerate(dag.node_names)
+            }
+            system.deploy(
+                dag, Placement(workflow=dag.name, assignment=assignment)
+            )
+        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+        local = 100 * system.metrics.local_fraction(dag.name)
+        rows.append(
+            ["partition strategy", strategy, round(latency, 3), f"{local:.0f}%"]
+        )
+    return rows
+
+
+def _faastore_on_off(invocations: int):
+    rows = []
+    for label, policy in (("FaaStore on", None), ("FaaStore off", RemoteStorePolicy)):
+        cluster = make_cluster()
+        system, scheduler = _grouped_system(cluster, policy=policy)
+        dag = build("cycles")
+        _deploy_grouped(system, scheduler, dag)
+        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+        local = 100 * system.metrics.local_fraction(dag.name)
+        rows.append(
+            ["FaaStore (fixed partition)", label, round(latency, 3), f"{local:.0f}%"]
+        )
+    return rows
+
+
+def _mu_sweep(invocations: int):
+    rows = []
+    for mu_mb in (0, 32, 96, 144):
+        cluster = make_cluster()
+        reclamation = ReclamationConfig(
+            container_memory=cluster.config.container.memory_limit,
+            mu=mu_mb * MB,
+        )
+        system, scheduler = _grouped_system(cluster, reclamation=reclamation)
+        dag = build("epigenomics")
+        _deploy_grouped(system, scheduler, dag)
+        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+        local = 100 * system.metrics.local_fraction(dag.name)
+        rows.append(
+            ["reclamation margin", f"mu={mu_mb}MB", round(latency, 3), f"{local:.0f}%"]
+        )
+    return rows
+
+
+def _db_concurrency(invocations: int):
+    rows = []
+    for concurrency in (1, 4, 16):
+        cluster = Cluster(
+            Environment(),
+            ClusterConfig(
+                workers=7,
+                storage_bandwidth=50 * MB,
+                container=ContainerSpec(cold_start_time=0.5),
+                db_concurrency=concurrency,
+            ),
+        )
+        system = HyperFlowServerlessSystem(cluster, EngineConfig(ship_data=True))
+        dag = build("genome")
+        system.register(dag, hash_partition(dag, cluster.worker_names()))
+        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+        rows.append(
+            ["remote-store concurrency", f"K={concurrency}", round(latency, 3), "-"]
+        )
+    return rows
+
+
+def run(invocations: int = 4) -> ExperimentResult:
+    rows = []
+    rows += _partition_strategy(invocations)
+    rows += _faastore_on_off(invocations)
+    rows += _mu_sweep(invocations)
+    rows += _db_concurrency(invocations)
+    notes = [
+        "greedy grouping beats hash/singleton on the chain-heavy benchmark; "
+        "FaaStore provides the data-plane win at a fixed partition; "
+        "an oversized mu starves the quota; the baseline's latency is "
+        "sensitive to store-side parallelism",
+    ]
+    return ExperimentResult(
+        experiment="ablations",
+        title="Mechanism ablations (mean warm e2e latency)",
+        headers=["axis", "variant", "mean e2e (s)", "local bytes"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,111 @@
+"""Terminal bar charts for experiment results.
+
+The artifact ships a ``draw.sh`` that renders comparison figures from
+the collected CSVs; in a terminal-first reproduction the equivalent is
+an ASCII chart.  :func:`bar_chart` renders one series, and
+:func:`grouped_bar_chart` renders the two-system comparisons most
+figures need (HyperFlow-serverless vs FaaSFlow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "chart_for_result"]
+
+_FULL = "#"
+_WIDTH = 46
+
+
+def _bar(value: float, maximum: float, width: int = _WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    filled = round(width * value / maximum)
+    return _FULL * max(0, min(width, filled))
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """One horizontal bar per label, scaled to the series maximum.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], unit="s"))  # doctest: +SKIP
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("empty chart")
+    maximum = max(values)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _bar(value, maximum, width)
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:,.2f}{(' ' + unit) if unit else ''}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Two-or-more series per label, one bar row per (label, series).
+
+    The typical use is the paper's per-benchmark comparison::
+
+        grouped_bar_chart(
+            ["Cyc", "Epi"],
+            {"HyperFlow": [204.2, 2.23], "FaaSFlow": [10.28, 0.69]},
+            unit="s",
+        )
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    maximum = max(max(values) for values in series.values())
+    label_width = max(len(str(l)) for l in labels)
+    series_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, label in enumerate(labels):
+        for name, values in series.items():
+            value = values[index]
+            bar = _bar(value, maximum, width)
+            lines.append(
+                f"{str(label).rjust(label_width)} {name.ljust(series_width)} "
+                f"|{bar.ljust(width)}| {value:,.2f}"
+                f"{(' ' + unit) if unit else ''}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def chart_for_result(result, value_column: int = 1) -> Optional[str]:
+    """Best-effort chart of an :class:`ExperimentResult` table column.
+
+    Uses the first column as labels and ``value_column`` as the series;
+    returns ``None`` when the column is not numeric.
+    """
+    labels = [str(row[0]) for row in result.rows]
+    try:
+        values = [float(row[value_column]) for row in result.rows]
+    except (TypeError, ValueError, IndexError):
+        return None
+    title = f"{result.experiment}: {result.headers[value_column]}"
+    return bar_chart(labels, values, title=title)

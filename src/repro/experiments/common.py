@@ -1,0 +1,179 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every experiment module exposes ``run(**knobs) -> ExperimentResult``;
+this module provides the pieces they share: cluster construction with
+the paper's testbed shape, the schedule-deploy-feedback loop that takes
+a workflow through the hash bootstrap into a grouped placement, and a
+plain-text table renderer for the printed output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..clients import run_closed_loop
+from ..core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    GraphScheduler,
+    HyperFlowServerlessSystem,
+    MonolithicSystem,
+    hash_partition,
+)
+from ..dag import WorkflowDAG
+from ..sim import MB, Cluster, ClusterConfig, Environment
+
+__all__ = [
+    "ExperimentResult",
+    "make_cluster",
+    "make_faasflow",
+    "make_hyperflow",
+    "deploy_with_feedback",
+    "format_table",
+    "MB",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Printable result of one experiment run."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.format())
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavored markdown section."""
+
+        def cell(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:,.2f}"
+            return str(value)
+
+        lines = [f"## {self.experiment} — {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"> {note}")
+        return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value != 0 and abs(value) < 0.01:
+                return f"{value:.4f}"
+            return f"{value:,.2f}"
+        return str(value)
+
+    table = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in table)) if table
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def render(row):
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(r) for r in table)
+    return "\n".join(lines)
+
+
+def make_cluster(
+    workers: int = 7,
+    storage_bandwidth: float = 50 * MB,
+    cold_start_time: float = 0.5,
+    seed_config: Optional[Callable[[ClusterConfig], None]] = None,
+) -> Cluster:
+    """A fresh simulated testbed in the paper's §5.1 shape."""
+    from ..sim import ContainerSpec
+
+    config = ClusterConfig(
+        workers=workers,
+        storage_bandwidth=storage_bandwidth,
+        container=ContainerSpec(cold_start_time=cold_start_time),
+    )
+    if seed_config is not None:
+        seed_config(config)
+    return Cluster(Environment(), config)
+
+
+def make_hyperflow(
+    cluster: Cluster, ship_data: bool = True, **config_kwargs
+) -> HyperFlowServerlessSystem:
+    """The MasterSP baseline on a cluster."""
+    return HyperFlowServerlessSystem(
+        cluster, EngineConfig(ship_data=ship_data, **config_kwargs)
+    )
+
+
+def make_faasflow(
+    cluster: Cluster, ship_data: bool = True, **config_kwargs
+) -> tuple[FaaSFlowSystem, GraphScheduler]:
+    """FaaSFlow (WorkerSP + FaaStore) plus its graph scheduler."""
+    system = FaaSFlowSystem(
+        cluster, EngineConfig(ship_data=ship_data, **config_kwargs)
+    )
+    scheduler = GraphScheduler(cluster)
+    return system, scheduler
+
+
+def deploy_with_feedback(
+    system: FaaSFlowSystem,
+    scheduler: GraphScheduler,
+    dag: WorkflowDAG,
+    warmup_invocations: int = 2,
+) -> None:
+    """The paper's partition-iteration loop, condensed.
+
+    Deploys with the hash bootstrap, runs a few warm-up invocations to
+    gather transfer measurements and memory high-water marks, feeds them
+    back, then re-partitions with Algorithm 1 and redeploys (red-black).
+    With ``warmup_invocations=0`` the grouped partition is computed from
+    the statically estimated edge weights instead.
+    """
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    if warmup_invocations > 0:
+        run_closed_loop(system, dag.name, warmup_invocations)
+        for node in dag.real_nodes():
+            scheduler.observe_memory(node.name, node.memory)
+        scheduler.absorb_feedback(dag, system.metrics)
+    else:
+        from ..dag import estimate_edge_weights
+
+        estimate_edge_weights(
+            dag, bandwidth=system.cluster.config.storage_bandwidth
+        )
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+
+
+def register_hyperflow(
+    system: HyperFlowServerlessSystem, dag: WorkflowDAG
+) -> None:
+    """Register a workflow on the baseline with the control-variate
+    routing policy: the same hash placement FaaSFlow bootstraps with."""
+    placement = hash_partition(dag, system.cluster.worker_names())
+    system.register(dag, placement)

@@ -1,0 +1,95 @@
+"""Extension — workflow success under function crashes.
+
+Not a paper artifact: an extension study enabled by the library's fault
+injector.  Function executions crash with probability ``p``; the engine
+retries each task up to its budget.  The study reports the invocation
+success rate and the latency cost of retries for both schedule
+patterns, and how the retry budget moves the success curve.
+
+The structural expectation: success rate falls roughly like
+``(1 - p^(r+1))^n`` for n tasks and r retries, so even modest budgets
+rescue large workflows from per-task crash rates that would otherwise
+doom nearly every invocation.
+"""
+
+from __future__ import annotations
+
+from ..clients import run_closed_loop
+from ..core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    FaultInjector,
+    HyperFlowServerlessSystem,
+    hash_partition,
+)
+from ..workloads import build
+from .common import ExperimentResult, make_cluster
+
+__all__ = ["run"]
+
+
+def _measure(engine: str, rate: float, retries: int, invocations: int):
+    cluster = make_cluster()
+    faults = FaultInjector(default_rate=rate, seed=42)
+    config = EngineConfig(ship_data=False, max_retries=retries)
+    dag = build("epigenomics")
+    if engine == "master":
+        system = HyperFlowServerlessSystem(cluster, config, faults=faults)
+        system.register(dag, hash_partition(dag, cluster.worker_names()))
+    else:
+        system = FaaSFlowSystem(cluster, config, faults=faults)
+        system.deploy(dag, hash_partition(dag, cluster.worker_names()))
+    records = run_closed_loop(system, dag.name, invocations)
+    ok = [r for r in records if r.status == "ok"]
+    return {
+        "success_rate": len(ok) / len(records),
+        "mean_ok_latency": (
+            sum(r.latency for r in ok) / len(ok) if ok else float("nan")
+        ),
+        "injected": faults.injected,
+    }
+
+
+def run(
+    invocations: int = 10,
+    rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    retry_budgets: tuple[int, ...] = (0, 2),
+) -> ExperimentResult:
+    rows = []
+    for engine in ("worker", "master"):
+        for rate in rates:
+            for retries in retry_budgets:
+                stats = _measure(engine, rate, retries, invocations)
+                rows.append(
+                    [
+                        "FaaSFlow" if engine == "worker" else "HyperFlow",
+                        f"{100 * rate:.0f}%",
+                        retries,
+                        f"{100 * stats['success_rate']:.0f}%",
+                        round(stats["mean_ok_latency"], 2),
+                        stats["injected"],
+                    ]
+                )
+    notes = [
+        "retries rescue success rates at the cost of latency on the "
+        "crashed paths; both schedule patterns degrade alike (failure "
+        "handling is orthogonal to trigger placement)",
+    ]
+    return ExperimentResult(
+        experiment="ext-faults",
+        title="Extension: invocation success under function crash rates",
+        headers=[
+            "engine",
+            "crash rate",
+            "retry budget",
+            "success rate",
+            "mean ok latency (s)",
+            "crashes injected",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

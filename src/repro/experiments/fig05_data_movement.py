@@ -1,0 +1,75 @@
+"""Fig. 5 — data movement: monolithic vs FaaS deployment.
+
+For each benchmark, one invocation runs (a) as a monolithic application
+on a single server (functions inter-call directly, intermediate data
+materialized in process memory once) and (b) as a serverless workflow
+under the data-shipping pattern (every edge round-trips through the
+remote store).  The paper's anchors: Vid grows from 4.23 MB to
+96.82 MB (22.86x) and Cyc from 23.95 MB to 1182.3 MB.
+"""
+
+from __future__ import annotations
+
+from ..clients import run_closed_loop
+from ..workloads import ALL_BENCHMARKS, BENCHMARKS, build
+from .common import (
+    ExperimentResult,
+    MB,
+    make_cluster,
+    make_hyperflow,
+    register_hyperflow,
+)
+from ..core import MonolithicSystem
+
+__all__ = ["run"]
+
+_PAPER = {"video-ffmpeg": (4.23, 96.82), "cycles": (23.95, 1182.3)}
+
+
+def run(benchmarks: list[str] | None = None) -> ExperimentResult:
+    names = benchmarks or ALL_BENCHMARKS
+    rows = []
+    for name in names:
+        # Monolithic deployment on one server.
+        cluster_mono = make_cluster(workers=1)
+        mono = MonolithicSystem(cluster_mono)
+        dag = build(name)
+        mono.register(dag)
+        record = run_closed_loop(mono, name, 1)[0]
+        mono_mb = mono.metrics.data_moved(name, record.invocation_id) / MB
+
+        # FaaS data-shipping deployment.
+        cluster_faas = make_cluster()
+        faas = make_hyperflow(cluster_faas, ship_data=True)
+        dag_faas = build(name)
+        register_hyperflow(faas, dag_faas)
+        record = run_closed_loop(faas, name, 1)[0]
+        faas_mb = faas.metrics.data_moved(name, record.invocation_id) / MB
+
+        amplification = faas_mb / mono_mb if mono_mb else float("inf")
+        paper = _PAPER.get(name)
+        rows.append(
+            [
+                BENCHMARKS[name].abbrev,
+                round(mono_mb, 2),
+                round(faas_mb, 2),
+                f"{amplification:.1f}x",
+                f"{paper[0]} -> {paper[1]}" if paper else "",
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig05",
+        title="Data movement per invocation: monolithic vs FaaS",
+        headers=[
+            "benchmark",
+            "monolithic (MB)",
+            "FaaS (MB)",
+            "amplification",
+            "paper (MB)",
+        ],
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

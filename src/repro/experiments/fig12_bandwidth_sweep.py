@@ -1,0 +1,119 @@
+"""Fig. 12 — p99 latency vs load under 25/50/75/100 MB/s storage bandwidth.
+
+The §5.4 sweep: Gen and Vid (the two data-intensive benchmarks) under
+open-loop load at several invocation rates, with the storage node's NIC
+throttled to each bandwidth.  The paper's observations to reproduce:
+
+- HyperFlow-serverless is highly bandwidth-sensitive; its tails blow up
+  as the NIC shrinks.
+- FaaSFlow-FaaStore at 25-50 MB/s matches HyperFlow at 75-100 MB/s,
+  i.e. localization multiplies effective bandwidth by 1.5-4x.
+- Dropping 50 -> 25 MB/s degrades HyperFlow's sustainable throughput by
+  ~32.5% but FaaSFlow-FaaStore by < 9.5%.
+"""
+
+from __future__ import annotations
+
+from ..clients import run_open_loop
+from ..workloads import BENCHMARKS, build
+from .common import (
+    ExperimentResult,
+    MB,
+    deploy_with_feedback,
+    make_cluster,
+    make_faasflow,
+    make_hyperflow,
+    register_hyperflow,
+)
+
+__all__ = ["run"]
+
+DEFAULT_BANDWIDTHS = (25 * MB, 50 * MB, 75 * MB, 100 * MB)
+DEFAULT_RATES = (2.0, 4.0, 6.0, 8.0)
+
+
+def run(
+    invocations: int = 30,
+    benchmarks: tuple[str, ...] = ("genome", "video-ffmpeg"),
+    bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+) -> ExperimentResult:
+    rows = []
+    series: dict[tuple, float] = {}
+    for name in benchmarks:
+        for bandwidth in bandwidths:
+            for rate in rates:
+                cluster_m = make_cluster(storage_bandwidth=bandwidth)
+                hyper = make_hyperflow(cluster_m, ship_data=True)
+                dag_m = build(name)
+                register_hyperflow(hyper, dag_m)
+                run_open_loop(hyper, name, invocations, rate)
+                hyper_p99 = hyper.metrics.tail_latency(name, q=99)
+
+                cluster_w = make_cluster(storage_bandwidth=bandwidth)
+                faasflow, scheduler = make_faasflow(cluster_w, ship_data=True)
+                dag_w = build(name)
+                deploy_with_feedback(
+                    faasflow, scheduler, dag_w, warmup_invocations=1
+                )
+                faasflow.metrics.clear()
+                run_open_loop(faasflow, name, invocations, rate)
+                faas_p99 = faasflow.metrics.tail_latency(name, q=99)
+
+                series[(name, bandwidth / MB, rate, "hyper")] = hyper_p99
+                series[(name, bandwidth / MB, rate, "faasflow")] = faas_p99
+                rows.append(
+                    [
+                        BENCHMARKS[name].abbrev,
+                        int(bandwidth / MB),
+                        rate,
+                        round(hyper_p99, 2),
+                        round(faas_p99, 2),
+                    ]
+                )
+    notes = _bandwidth_equivalence_notes(series, benchmarks, rates)
+    return ExperimentResult(
+        experiment="fig12",
+        title="p99 latency vs load across storage bandwidths",
+        headers=[
+            "benchmark",
+            "bandwidth (MB/s)",
+            "rate (/min)",
+            "HyperFlow p99 (s)",
+            "FaaSFlow p99 (s)",
+        ],
+        rows=rows,
+        notes=notes,
+        data={"series": series},
+    )
+
+
+def _bandwidth_equivalence_notes(series, benchmarks, rates) -> list[str]:
+    """How much bandwidth does FaaStore 'multiply'?  Compare FaaSFlow at
+    25/50 MB/s against HyperFlow at higher bandwidths."""
+    notes = []
+    for name in benchmarks:
+        for low, highs in ((25.0, (75.0, 100.0)), (50.0, (75.0, 100.0))):
+            faas = [series.get((name, low, r, "faasflow")) for r in rates]
+            if any(v is None for v in faas):
+                continue
+            matched = []
+            for high in highs:
+                hyper = [series.get((name, high, r, "hyper")) for r in rates]
+                if any(v is None for v in hyper):
+                    continue
+                mean_f = sum(faas) / len(faas)
+                mean_h = sum(hyper) / len(hyper)
+                if mean_f <= mean_h * 1.2:
+                    matched.append(int(high))
+            if matched:
+                notes.append(
+                    f"{name}: FaaSFlow-FaaStore @ {low:.0f} MB/s <= "
+                    f"HyperFlow @ {matched} MB/s "
+                    f"(bandwidth multiplied {min(matched) / low:.1f}x+)"
+                )
+    return notes
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,124 @@
+"""Fig. 14 — co-location interference across the 8 benchmarks.
+
+All benchmarks run simultaneously on one shared cluster (§5.5), each
+driven by its own closed-loop client, and each benchmark's mean e2e
+latency is compared against its solo run.  The paper reports heavy
+HyperFlow-serverless degradation for the bandwidth-hungry benchmarks
+(Cyc 50.3%, Gen 48.5%, Vid 84.4%, WC 66.2%) and much smaller
+degradation under FaaSFlow-FaaStore.
+"""
+
+from __future__ import annotations
+
+from ..clients import ClosedLoopClient, run_closed_loop
+from ..workloads import ALL_BENCHMARKS, BENCHMARKS, build
+from .common import (
+    ExperimentResult,
+    deploy_with_feedback,
+    make_cluster,
+    make_faasflow,
+    make_hyperflow,
+    register_hyperflow,
+)
+
+__all__ = ["run"]
+
+_PAPER_HYPER = {
+    "cycles": 50.3,
+    "genome": 48.5,
+    "video-ffmpeg": 84.4,
+    "word-count": 66.2,
+}
+
+
+def _mean_warm_latency(records) -> float:
+    warm = records[1:] or records
+    return sum(r.latency for r in warm) / len(warm)
+
+
+def _solo_latencies(mode: str, names, invocations, bandwidth) -> dict[str, float]:
+    result = {}
+    for name in names:
+        cluster = make_cluster(storage_bandwidth=bandwidth)
+        dag = build(name)
+        if mode == "hyper":
+            system = make_hyperflow(cluster, ship_data=True)
+            register_hyperflow(system, dag)
+        else:
+            system, scheduler = make_faasflow(cluster, ship_data=True)
+            deploy_with_feedback(system, scheduler, dag, warmup_invocations=1)
+        records = run_closed_loop(system, name, invocations)
+        result[name] = _mean_warm_latency(records)
+    return result
+
+
+def _corun_latencies(mode: str, names, invocations, bandwidth) -> dict[str, float]:
+    cluster = make_cluster(storage_bandwidth=bandwidth)
+    clients = []
+    if mode == "hyper":
+        system = make_hyperflow(cluster, ship_data=True)
+        for name in names:
+            register_hyperflow(system, build(name))
+    else:
+        system, scheduler = make_faasflow(cluster, ship_data=True)
+        for name in names:
+            deploy_with_feedback(
+                system, scheduler, build(name), warmup_invocations=1
+            )
+    env = cluster.env
+    processes = []
+    for name in names:
+        client = ClosedLoopClient(system, name, invocations)
+        clients.append((name, client))
+        processes.append(env.process(client.run(), name=f"client:{name}"))
+    env.run(until=env.all_of(processes))
+    return {
+        name: _mean_warm_latency(client.records) for name, client in clients
+    }
+
+
+def run(
+    invocations: int = 10,
+    benchmarks: list[str] | None = None,
+    bandwidth: float = 100 * 1024 * 1024,
+) -> ExperimentResult:
+    """Co-location uses the unthrottled Sec. 5.1 setup (the 25-100 MB/s
+    throttling applies only to the Sec. 5.4 sweep)."""
+    names = benchmarks or ALL_BENCHMARKS
+    rows = []
+    for mode_label, mode in (
+        ("HyperFlow-serverless", "hyper"),
+        ("FaaSFlow-FaaStore", "faasflow"),
+    ):
+        solo = _solo_latencies(mode, names, invocations, bandwidth)
+        corun = _corun_latencies(mode, names, invocations, bandwidth)
+        for name in names:
+            degradation = 100 * (corun[name] / solo[name] - 1)
+            paper = _PAPER_HYPER.get(name)
+            rows.append(
+                [
+                    mode_label,
+                    BENCHMARKS[name].abbrev,
+                    round(solo[name], 2),
+                    round(corun[name], 2),
+                    f"{degradation:.1f}%",
+                    f"{paper}%" if paper and mode == "hyper" else "",
+                ]
+            )
+    return ExperimentResult(
+        experiment="fig14",
+        title="Co-location interference: solo vs all-8-together (mean e2e)",
+        headers=[
+            "system",
+            "benchmark",
+            "solo (s)",
+            "co-run (s)",
+            "degradation",
+            "paper (HyperFlow)",
+        ],
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,125 @@
+"""§6 — implication: larger main memory beats a network upgrade.
+
+The paper's second implication for serverless clouds: "Deploying
+servers with larger main memory is more beneficial than upgrading the
+network for serverless workflows."  With more memory, containers can be
+provisioned with larger limits, Eq. 1 reclaims a bigger surplus, the
+FaaStore quota grows, and more intermediate data stays node-local —
+multiplying effective bandwidth instead of buying more of it.
+
+The experiment takes the quota-starved Genome benchmark on FaaSFlow and
+compares three clusters under the same open-loop load:
+
+- **baseline** — 32 GB nodes, 256 MB containers, 50 MB/s storage NIC;
+- **network upgrade** — same nodes, NIC doubled to 100 MB/s;
+- **memory upgrade** — 64 GB nodes with 512 MB containers, NIC still
+  50 MB/s.
+"""
+
+from __future__ import annotations
+
+from ..clients import run_open_loop
+from ..core import EngineConfig, FaaSFlowSystem, GraphScheduler
+from ..sim import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    GB,
+    MB,
+    NodeConfig,
+)
+from ..workloads import genome
+from .common import ExperimentResult
+from ..clients import run_closed_loop
+
+__all__ = ["run"]
+
+
+def _measure(
+    storage_bandwidth: float,
+    node_memory: float,
+    container_memory: float,
+    invocations: int,
+    rate: float,
+):
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterConfig(
+            workers=7,
+            worker=NodeConfig(cores=8, memory=node_memory),
+            storage_bandwidth=storage_bandwidth,
+            container=ContainerSpec(memory_limit=container_memory),
+        ),
+    )
+    system = FaaSFlowSystem(cluster, EngineConfig(ship_data=True))
+    scheduler = GraphScheduler(cluster)
+    dag = genome()
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    run_closed_loop(system, dag.name, 1)
+    scheduler.absorb_feedback(dag, system.metrics)
+    placement, quotas, _ = scheduler.schedule(dag)
+    system.deploy(dag, placement, quotas=quotas)
+    system.metrics.clear()
+    run_open_loop(system, dag.name, invocations, rate)
+    return {
+        "p99": system.metrics.tail_latency(dag.name, q=99),
+        "mean": system.metrics.mean_latency(dag.name),
+        "timeouts": len(system.metrics.timeouts(dag.name)),
+        "local": system.metrics.local_fraction(dag.name),
+        "quota_gb": sum(quotas.values()) / GB,
+    }
+
+
+def run(invocations: int = 25, rate: float = 4.0) -> ExperimentResult:
+    configurations = [
+        ("baseline (32GB, 50MB/s)", 50 * MB, 32 * GB, 256 * MB),
+        ("network upgrade (32GB, 100MB/s)", 100 * MB, 32 * GB, 256 * MB),
+        ("memory upgrade (64GB, 50MB/s)", 50 * MB, 64 * GB, 512 * MB),
+    ]
+    rows = []
+    results = {}
+    for label, bandwidth, node_memory, container_memory in configurations:
+        stats = _measure(
+            bandwidth, node_memory, container_memory, invocations, rate
+        )
+        results[label] = stats
+        rows.append(
+            [
+                label,
+                round(stats["p99"], 2),
+                round(stats["mean"], 2),
+                stats["timeouts"],
+                f"{100 * stats['local']:.0f}%",
+                round(stats["quota_gb"], 1),
+            ]
+        )
+    baseline = results[configurations[0][0]]["p99"]
+    network = results[configurations[1][0]]["p99"]
+    memory = results[configurations[2][0]]["p99"]
+    notes = [
+        f"network upgrade cuts p99 by {100 * (1 - network / baseline):.0f}%, "
+        f"memory upgrade by {100 * (1 - memory / baseline):.0f}% "
+        "(paper: larger memory is the better investment)",
+    ]
+    return ExperimentResult(
+        experiment="sec6",
+        title="Upgrade paths for Genome under load: more memory vs more network",
+        headers=[
+            "configuration",
+            "p99 (s)",
+            "mean (s)",
+            "timeouts",
+            "local bytes",
+            "FaaStore quota (GB)",
+        ],
+        rows=rows,
+        notes=notes,
+        data={"results": results},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

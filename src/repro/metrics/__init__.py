@@ -1,0 +1,17 @@
+"""Measurement and aggregation for workflow experiments."""
+
+from .collector import (
+    InvocationRecord,
+    InvocationStatus,
+    MetricsCollector,
+    TransferEvent,
+    percentile,
+)
+
+__all__ = [
+    "InvocationRecord",
+    "InvocationStatus",
+    "MetricsCollector",
+    "percentile",
+    "TransferEvent",
+]

@@ -1,0 +1,206 @@
+"""Measurement: invocation records, transfer ledger, aggregation.
+
+The experiments (paper §5) report scheduling overhead, data-movement
+latency, tail latency, and throughput degradation.  Everything they
+need is recorded here: one :class:`InvocationRecord` per workflow
+invocation and one :class:`TransferEvent` per data-plane storage
+operation, plus aggregation helpers (percentiles, averages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "InvocationRecord",
+    "TransferEvent",
+    "MetricsCollector",
+    "percentile",
+    "InvocationStatus",
+]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The q-th percentile (0-100) with linear interpolation.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    # data[low] + f * (delta) is exact when both values are equal and
+    # monotone in q, unlike the a*(1-f) + b*f form.
+    return data[low] + fraction * (data[high] - data[low])
+
+
+class InvocationStatus:
+    OK = "ok"
+    TIMEOUT = "timeout"
+    FAILED = "failed"
+
+
+@dataclass
+class InvocationRecord:
+    """End-to-end measurement of one workflow invocation."""
+
+    workflow: str
+    invocation_id: int
+    mode: str  # "master-sp", "worker-sp", "monolithic"
+    started_at: float
+    finished_at: float = 0.0
+    status: str = InvocationStatus.OK
+    # Static execution time of the critical path's function nodes —
+    # subtracted from e2e latency to obtain scheduling overhead (§2.3).
+    critical_path_exec: float = 0.0
+    cold_starts: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def scheduling_overhead(self) -> float:
+        return max(0.0, self.latency - self.critical_path_exec)
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One data-plane storage operation (put or get)."""
+
+    workflow: str
+    invocation_id: int
+    producer: str
+    consumer: str  # "" for puts (not yet consumed)
+    size: float
+    duration: float
+    phase: str  # "put" or "get"
+    local: bool  # served by the node-local memory store
+
+
+class MetricsCollector:
+    """Accumulates records during a run and aggregates them afterwards."""
+
+    def __init__(self) -> None:
+        self.invocations: list[InvocationRecord] = []
+        self.transfers: list[TransferEvent] = []
+
+    # -- recording -------------------------------------------------------
+    def record_invocation(self, record: InvocationRecord) -> None:
+        self.invocations.append(record)
+
+    def record_transfer(self, event: TransferEvent) -> None:
+        self.transfers.append(event)
+
+    # -- selection -------------------------------------------------------
+    def invocations_of(self, workflow: str) -> list[InvocationRecord]:
+        return [r for r in self.invocations if r.workflow == workflow]
+
+    def completed(self, workflow: Optional[str] = None) -> list[InvocationRecord]:
+        records = (
+            self.invocations
+            if workflow is None
+            else self.invocations_of(workflow)
+        )
+        return [r for r in records if r.status == InvocationStatus.OK]
+
+    def timeouts(self, workflow: Optional[str] = None) -> list[InvocationRecord]:
+        records = (
+            self.invocations
+            if workflow is None
+            else self.invocations_of(workflow)
+        )
+        return [r for r in records if r.status == InvocationStatus.TIMEOUT]
+
+    def failures(self, workflow: Optional[str] = None) -> list[InvocationRecord]:
+        records = (
+            self.invocations
+            if workflow is None
+            else self.invocations_of(workflow)
+        )
+        return [r for r in records if r.status == InvocationStatus.FAILED]
+
+    # -- aggregation ------------------------------------------------------
+    def latencies(self, workflow: Optional[str] = None) -> list[float]:
+        records = (
+            self.invocations
+            if workflow is None
+            else self.invocations_of(workflow)
+        )
+        return [r.latency for r in records]
+
+    def mean_latency(self, workflow: Optional[str] = None) -> float:
+        values = self.latencies(workflow)
+        if not values:
+            raise ValueError("no invocations recorded")
+        return sum(values) / len(values)
+
+    def tail_latency(self, workflow: Optional[str] = None, q: float = 99.0) -> float:
+        return percentile(self.latencies(workflow), q)
+
+    def mean_scheduling_overhead(self, workflow: Optional[str] = None) -> float:
+        records = self.completed(workflow)
+        if not records:
+            raise ValueError("no completed invocations recorded")
+        return sum(r.scheduling_overhead for r in records) / len(records)
+
+    # -- data movement -----------------------------------------------------
+    def transfers_of(self, workflow: str, invocation_id: Optional[int] = None):
+        return [
+            t
+            for t in self.transfers
+            if t.workflow == workflow
+            and (invocation_id is None or t.invocation_id == invocation_id)
+        ]
+
+    def data_moved(
+        self, workflow: str, invocation_id: Optional[int] = None
+    ) -> float:
+        """Bytes through the storage layer (puts + gets)."""
+        return sum(t.size for t in self.transfers_of(workflow, invocation_id))
+
+    def remote_data_moved(
+        self, workflow: str, invocation_id: Optional[int] = None
+    ) -> float:
+        return sum(
+            t.size
+            for t in self.transfers_of(workflow, invocation_id)
+            if not t.local
+        )
+
+    def transfer_latency(
+        self, workflow: str, invocation_id: Optional[int] = None
+    ) -> float:
+        """Total data-movement latency over all edges (Table 4 metric)."""
+        return sum(
+            t.duration for t in self.transfers_of(workflow, invocation_id)
+        )
+
+    def mean_transfer_latency_per_invocation(self, workflow: str) -> float:
+        ids = {t.invocation_id for t in self.transfers_of(workflow)}
+        if not ids:
+            return 0.0
+        return sum(
+            self.transfer_latency(workflow, i) for i in ids
+        ) / len(ids)
+
+    def local_fraction(self, workflow: str) -> float:
+        """Fraction of storage bytes served locally (FaaStore hit rate)."""
+        events = self.transfers_of(workflow)
+        total = sum(t.size for t in events)
+        if total == 0:
+            return 0.0
+        return sum(t.size for t in events if t.local) / total
+
+    def clear(self) -> None:
+        self.invocations.clear()
+        self.transfers.clear()

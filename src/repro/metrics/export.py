@@ -1,0 +1,146 @@
+"""CSV export/import of run metrics.
+
+The original artifact persists each experiment's measurements as
+``.csv``/``.txt`` files that its plotting scripts consume; this module
+provides the same workflow: dump a :class:`MetricsCollector` (or an
+experiment result) to CSV, and load it back for offline analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .collector import (
+    InvocationRecord,
+    MetricsCollector,
+    TransferEvent,
+)
+
+__all__ = [
+    "write_invocations_csv",
+    "write_transfers_csv",
+    "read_invocations_csv",
+    "read_transfers_csv",
+    "export_metrics",
+    "write_result_csv",
+]
+
+_INVOCATION_FIELDS = [
+    "workflow",
+    "invocation_id",
+    "mode",
+    "started_at",
+    "finished_at",
+    "status",
+    "critical_path_exec",
+    "cold_starts",
+]
+
+_TRANSFER_FIELDS = [
+    "workflow",
+    "invocation_id",
+    "producer",
+    "consumer",
+    "size",
+    "duration",
+    "phase",
+    "local",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_invocations_csv(metrics: MetricsCollector, path: PathLike) -> int:
+    """Write one row per invocation; returns the row count."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_INVOCATION_FIELDS)
+        writer.writeheader()
+        for record in metrics.invocations:
+            writer.writerow(
+                {field: getattr(record, field) for field in _INVOCATION_FIELDS}
+            )
+    return len(metrics.invocations)
+
+
+def write_transfers_csv(metrics: MetricsCollector, path: PathLike) -> int:
+    """Write one row per storage operation; returns the row count."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_TRANSFER_FIELDS)
+        writer.writeheader()
+        for event in metrics.transfers:
+            writer.writerow(
+                {field: getattr(event, field) for field in _TRANSFER_FIELDS}
+            )
+    return len(metrics.transfers)
+
+
+def read_invocations_csv(path: PathLike) -> list[InvocationRecord]:
+    """Load invocation records written by :func:`write_invocations_csv`."""
+    records = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            records.append(
+                InvocationRecord(
+                    workflow=row["workflow"],
+                    invocation_id=int(row["invocation_id"]),
+                    mode=row["mode"],
+                    started_at=float(row["started_at"]),
+                    finished_at=float(row["finished_at"]),
+                    status=row["status"],
+                    critical_path_exec=float(row["critical_path_exec"]),
+                    cold_starts=int(row["cold_starts"]),
+                )
+            )
+    return records
+
+
+def read_transfers_csv(path: PathLike) -> list[TransferEvent]:
+    """Load transfer events written by :func:`write_transfers_csv`."""
+    events = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            events.append(
+                TransferEvent(
+                    workflow=row["workflow"],
+                    invocation_id=int(row["invocation_id"]),
+                    producer=row["producer"],
+                    consumer=row["consumer"],
+                    size=float(row["size"]),
+                    duration=float(row["duration"]),
+                    phase=row["phase"],
+                    local=row["local"] == "True",
+                )
+            )
+    return events
+
+
+def export_metrics(
+    metrics: MetricsCollector, directory: PathLike, prefix: str = "run"
+) -> dict[str, Path]:
+    """Dump a collector into ``<dir>/<prefix>-{invocations,transfers}.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "invocations": directory / f"{prefix}-invocations.csv",
+        "transfers": directory / f"{prefix}-transfers.csv",
+    }
+    write_invocations_csv(metrics, paths["invocations"])
+    write_transfers_csv(metrics, paths["transfers"])
+    return paths
+
+
+def write_result_csv(result, path: PathLike) -> int:
+    """Write an :class:`~repro.experiments.ExperimentResult`'s table.
+
+    The header row is the result's column headers; notes become
+    ``# comment`` lines at the top.
+    """
+    with open(path, "w", newline="") as handle:
+        for note in result.notes:
+            handle.write(f"# {note}\n")
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return len(result.rows)

@@ -1,0 +1,243 @@
+"""``faasflow-run``: execute a workflow definition end-to-end.
+
+The front door for trying the system on your own workflow::
+
+    faasflow-run my-workflow.yaml --invocations 20
+    faasflow-run my-workflow.yaml --engine master --open-loop 6
+    faasflow-run Cyc --trace --prewarm
+
+The positional argument is a WDL YAML file or the name/abbreviation of
+a built-in benchmark.  By default the workflow runs on FaaSFlow
+(WorkerSP + FaaStore) through the full scheduler feedback loop; pass
+``--engine master`` for the HyperFlow-serverless baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .clients import run_closed_loop, run_open_loop
+from .core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    FaultInjector,
+    GraphScheduler,
+    HyperFlowServerlessSystem,
+    Tracer,
+    hash_partition,
+)
+from .sim import Cluster, ClusterConfig, Environment, MB
+from .wdl import WDLError, load_workflow
+from .workloads import ALL_BENCHMARKS, build
+
+__all__ = ["main", "run_workflow", "RunSummary"]
+
+
+class RunSummary(dict):
+    """Result of one ``run_workflow`` call (a dict with attribute sugar)."""
+
+    def __getattr__(self, name):
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+def _load_dag(source: str):
+    path = Path(source)
+    if path.exists():
+        return load_workflow(path)
+    try:
+        return build(source)
+    except KeyError:
+        raise SystemExit(
+            f"error: {source!r} is neither a readable WDL file nor a "
+            f"benchmark name (choose from {ALL_BENCHMARKS})"
+        )
+
+
+def run_workflow(
+    dag,
+    engine: str = "worker",
+    invocations: int = 10,
+    workers: int = 7,
+    bandwidth_mb: float = 50.0,
+    open_loop_rate: float | None = None,
+    prewarm: bool = False,
+    ship_data: bool = True,
+    trace: bool = False,
+    feedback: bool = True,
+    fault_rate: float = 0.0,
+    max_retries: int = 2,
+    seed: int = 13,
+) -> RunSummary:
+    """Run ``dag`` and return a summary of what happened."""
+    if engine not in ("worker", "master"):
+        raise ValueError("engine must be 'worker' or 'master'")
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterConfig(workers=workers, storage_bandwidth=bandwidth_mb * MB),
+    )
+    tracer = Tracer() if trace else None
+    faults = (
+        FaultInjector(default_rate=fault_rate, seed=seed)
+        if fault_rate > 0
+        else None
+    )
+    config = EngineConfig(ship_data=ship_data, max_retries=max_retries)
+    if engine == "master":
+        system = HyperFlowServerlessSystem(
+            cluster, config, tracer=tracer, faults=faults
+        )
+        system.register(dag, hash_partition(dag, cluster.worker_names()))
+    else:
+        system = FaaSFlowSystem(cluster, config, tracer=tracer, faults=faults)
+        scheduler = GraphScheduler(cluster)
+        placement, quotas, _ = scheduler.schedule(dag)
+        system.deploy(dag, placement, quotas=quotas, prewarm=1 if prewarm else 0)
+        if feedback:
+            run_closed_loop(system, dag.name, 2)
+            scheduler.absorb_feedback(dag, system.metrics)
+            placement, quotas, _ = scheduler.schedule(dag)
+            system.deploy(
+                dag,
+                placement,
+                quotas=quotas,
+                prewarm=1 if prewarm else 0,
+                container_limits=scheduler.container_limits(dag),
+            )
+            system.metrics.clear()
+    if prewarm:
+        # Let the prewarmed containers finish booting before load starts.
+        env.run(until=env.now + cluster.config.container.cold_start_time + 0.01)
+    if open_loop_rate is not None:
+        records = run_open_loop(
+            system, dag.name, invocations, open_loop_rate, seed=seed
+        )
+    else:
+        records = run_closed_loop(system, dag.name, invocations)
+    metrics = system.metrics
+    latencies = sorted(r.latency for r in records)
+    return RunSummary(
+        workflow=dag.name,
+        engine=engine,
+        invocations=len(records),
+        completed=len([r for r in records if r.status == "ok"]),
+        timeouts=len([r for r in records if r.status == "timeout"]),
+        failures=len([r for r in records if r.status == "failed"]),
+        mean_latency=sum(latencies) / len(latencies),
+        p50_latency=latencies[len(latencies) // 2],
+        p99_latency=metrics.tail_latency(dag.name, q=99),
+        mean_scheduling_overhead=(
+            metrics.mean_scheduling_overhead(dag.name)
+            if metrics.completed(dag.name)
+            else float("nan")
+        ),
+        data_moved_mb=metrics.data_moved(dag.name) / len(records) / MB,
+        local_fraction=metrics.local_fraction(dag.name),
+        cold_starts=sum(r.cold_starts for r in records),
+        records=records,
+        metrics=metrics,
+        tracer=tracer,
+        system=system,
+    )
+
+
+def _format_summary(summary: RunSummary) -> str:
+    lines = [
+        f"workflow            {summary.workflow}",
+        f"engine              {'FaaSFlow (WorkerSP+FaaStore)' if summary.engine == 'worker' else 'HyperFlow-serverless (MasterSP)'}",
+        f"invocations         {summary.invocations} "
+        f"({summary.completed} ok, {summary.timeouts} timed out, "
+        f"{summary.failures} failed)",
+        f"mean latency        {summary.mean_latency * 1000:,.1f} ms",
+        f"p99 latency         {summary.p99_latency * 1000:,.1f} ms",
+        f"sched overhead      {summary.mean_scheduling_overhead * 1000:,.1f} ms",
+        f"data moved          {summary.data_moved_mb:,.2f} MB/invocation "
+        f"({summary.local_fraction * 100:.0f}% node-local)",
+        f"cold starts         {summary.cold_starts}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="faasflow-run",
+        description="Run a WDL workflow (or built-in benchmark) end-to-end.",
+    )
+    parser.add_argument("workflow", help="WDL YAML file or benchmark name")
+    parser.add_argument(
+        "--engine", choices=["worker", "master"], default="worker",
+        help="worker = FaaSFlow (default); master = HyperFlow-serverless",
+    )
+    parser.add_argument("--invocations", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=7)
+    parser.add_argument(
+        "--bandwidth", type=float, default=50.0,
+        help="storage-node bandwidth in MB/s (default 50)",
+    )
+    parser.add_argument(
+        "--open-loop", type=float, metavar="RATE", default=None,
+        help="open-loop arrivals at RATE invocations/minute",
+    )
+    parser.add_argument(
+        "--no-data", action="store_true",
+        help="pre-packed inputs: skip the data plane",
+    )
+    parser.add_argument(
+        "--no-feedback", action="store_true",
+        help="stay on the hash bootstrap placement",
+    )
+    parser.add_argument("--prewarm", action="store_true")
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="crash each function execution with probability P",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per function task (default 2)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the first invocation's execution timeline",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", help="export metrics CSVs to DIR"
+    )
+    args = parser.parse_args(argv)
+    try:
+        dag = _load_dag(args.workflow)
+    except WDLError as error:
+        print(f"error: invalid workflow definition: {error}", file=sys.stderr)
+        return 2
+    summary = run_workflow(
+        dag,
+        engine=args.engine,
+        invocations=args.invocations,
+        workers=args.workers,
+        bandwidth_mb=args.bandwidth,
+        open_loop_rate=args.open_loop,
+        prewarm=args.prewarm,
+        ship_data=not args.no_data,
+        trace=args.trace,
+        feedback=not args.no_feedback,
+        fault_rate=args.fault_rate,
+        max_retries=args.max_retries,
+    )
+    print(_format_summary(summary))
+    if args.trace and summary.tracer is not None and summary.records:
+        print("\nfirst invocation timeline:")
+        print(summary.tracer.timeline(summary.records[0].invocation_id))
+    if args.csv:
+        from .metrics.export import export_metrics
+
+        paths = export_metrics(summary.metrics, args.csv, prefix=dag.name)
+        print(f"\nmetrics exported: {paths['invocations']}, {paths['transfers']}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

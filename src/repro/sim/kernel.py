@@ -1,0 +1,407 @@
+"""Discrete-event simulation kernel.
+
+This module is the foundation of the cluster substrate: a small,
+self-contained discrete-event engine in the style of SimPy.  Simulation
+actors (workflow engines, containers, network flows, clients) are written
+as Python generator functions that ``yield`` events; the
+:class:`Environment` advances a virtual clock and resumes each process
+when the event it waits on fires.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env, log):
+...     yield env.timeout(5.0)
+...     log.append(env.now)
+>>> log = []
+>>> _ = env.process(hello(env, log))
+>>> env.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopProcess",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party may attach a ``cause`` explaining why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Raised to exit a process early with a return value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1  # scheduled on the event queue, not yet processed
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """An occurrence at a point in simulated time that processes wait on.
+
+    Events move through three states: *pending* (created, not fired),
+    *triggered* (value set, callbacks scheduled), and *processed*
+    (callbacks executed).  Waiting processes register themselves in
+    :attr:`callbacks`.
+    """
+
+    __slots__ = ("env", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+
+    # -- inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """Whether the event succeeded.  ``None`` until triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- firing ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _process_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class _ConditionValue(dict):
+    """Mapping of event -> value for condition events (AllOf / AnyOf)."""
+
+
+class _Condition(Event):
+    """Base for composite events over several child events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        # A condition over zero events is immediately true.
+        if not self._events and self._state == PENDING:
+            self.succeed(_ConditionValue())
+
+    def _collect_values(self) -> _ConditionValue:
+        result = _ConditionValue()
+        for event in self._events:
+            # Timeouts are born triggered; only events whose callbacks ran
+            # have actually occurred in simulated time.
+            if event.processed and event.ok:
+                result[event] = event._value
+        return result
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once all child events have fired; fails fast on any failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect_values())
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process is itself an event: it triggers (with the generator's return
+    value) when the generator exits, so processes can wait on each other.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._state != PENDING:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process currently waits on.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        self._target = None
+        try:
+            if event.ok:
+                next_target = self._generator.send(event._value)
+            else:
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            env._active_process = None
+            self._generator.close()
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # The process let an interrupt escape: treat as normal exit.
+            env._active_process = None
+            self.succeed(None)
+            return
+        except BaseException as error:
+            env._active_process = None
+            self.fail(error)
+            if not self.callbacks:
+                # Nobody is waiting for this process; surface the crash.
+                env._crashed.append((self, error))
+            return
+        env._active_process = None
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, "
+                "which is not an Event"
+            )
+        if next_target.processed:
+            # The event already fired; resume immediately (same timestep).
+            immediate = Event(env)
+            immediate.callbacks.append(self._resume)
+            if next_target.ok:
+                immediate.succeed(next_target._value)
+            else:
+                immediate.fail(next_target._value)
+        else:
+            self._target = next_target
+            next_target.callbacks.append(self._resume)
+
+
+class Environment:
+    """Holds the event queue and the simulation clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- clock -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raises if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process_callbacks()
+        if self._crashed:
+            process, error = self._crashed.pop()
+            raise SimulationError(
+                f"process {process.name!r} crashed at t={self._now}"
+            ) from error
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulation time (run up to and including that
+        time) or an :class:`Event` (run until it has been processed, then
+        return its value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            if not stop_event.processed:
+                # run() is a waiter: a failure of the awaited event is
+                # handled (re-raised below), not an unhandled crash.
+                stop_event.callbacks.append(lambda _event: None)
+            while not stop_event.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if stop_event.ok:
+                return stop_event._value
+            raise stop_event._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,32 @@
+"""Workflow Definition Language: YAML workflows -> DAGs."""
+
+from .parser import load_workflow, parse_workflow, workflow_from_dict
+from .steps import (
+    ForeachStep,
+    ParallelStep,
+    SequenceStep,
+    Step,
+    SwitchCase,
+    SwitchStep,
+    TaskStep,
+    WDLError,
+)
+from .units import UnitError, format_size, parse_duration, parse_size
+
+__all__ = [
+    "ForeachStep",
+    "format_size",
+    "load_workflow",
+    "ParallelStep",
+    "parse_duration",
+    "parse_size",
+    "parse_workflow",
+    "SequenceStep",
+    "Step",
+    "SwitchCase",
+    "SwitchStep",
+    "TaskStep",
+    "UnitError",
+    "WDLError",
+    "workflow_from_dict",
+]

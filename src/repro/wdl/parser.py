@@ -1,0 +1,365 @@
+"""WDL parser: YAML workflow definitions -> :class:`WorkflowDAG`.
+
+A workflow file looks like::
+
+    name: video-pipeline
+    defaults:
+      service_time: 100ms
+      memory: 64MB
+    steps:
+      - task: split
+        output_size: 4MB
+      - foreach: transcode-all
+        items: 8
+        steps:
+          - task: transcode
+            service_time: 800ms
+            output_size: 4MB
+      - task: merge
+        output_size: 8MB
+
+The top-level ``steps`` list is an implicit sequence.  Parallel /
+switch / foreach steps are bracketed by virtual start/end nodes in the
+resulting DAG (paper §4.1.1): the virtual nodes do no computation and
+exist so graph partitioning treats each step atomically.
+
+Data-plane convention: a task's ``output_size`` is the object it writes
+after executing; every downstream consumer fetches that object.  Edges
+out of virtual nodes carry the *forwarded* size (sum of what flowed in),
+so edge weights reflect what actually crosses between the functions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import yaml
+
+from ..dag import FunctionNode, WorkflowDAG
+from .steps import (
+    ForeachStep,
+    ParallelStep,
+    SequenceStep,
+    Step,
+    SwitchCase,
+    SwitchStep,
+    TaskStep,
+    WDLError,
+)
+from .units import parse_duration, parse_size
+
+__all__ = ["parse_workflow", "load_workflow", "workflow_from_dict", "WDLError"]
+
+_STEP_KINDS = ("task", "sequence", "parallel", "switch", "foreach")
+
+_TASK_KEYS = {"task", "service_time", "memory", "output_size", "metadata"}
+_SEQUENCE_KEYS = {"sequence", "steps"}
+_PARALLEL_KEYS = {"parallel", "branches"}
+_SWITCH_KEYS = {"switch", "cases"}
+_FOREACH_KEYS = {"foreach", "items", "steps"}
+
+
+def parse_workflow(text: str) -> WorkflowDAG:
+    """Parse a WDL YAML document into a workflow DAG."""
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as error:
+        raise WDLError(f"invalid YAML: {error}") from error
+    if not isinstance(document, dict):
+        raise WDLError("workflow document must be a mapping")
+    return workflow_from_dict(document)
+
+
+def load_workflow(path: Union[str, Path]) -> WorkflowDAG:
+    """Parse a WDL file from disk."""
+    return parse_workflow(Path(path).read_text())
+
+
+def workflow_from_dict(document: dict) -> WorkflowDAG:
+    """Build a DAG from an already-loaded WDL mapping."""
+    unknown = set(document) - {"name", "defaults", "steps"}
+    if unknown:
+        raise WDLError(f"unknown top-level keys: {sorted(unknown)}")
+    name = document.get("name")
+    if not isinstance(name, str) or not name:
+        raise WDLError("workflow requires a non-empty 'name'")
+    raw_steps = document.get("steps")
+    if not isinstance(raw_steps, list) or not raw_steps:
+        raise WDLError("workflow requires a non-empty 'steps' list")
+    defaults = _parse_defaults(document.get("defaults") or {})
+    parser = _Parser(defaults)
+    top = parser.parse_sequence(f"{name}.main", raw_steps)
+    builder = _Builder(name)
+    builder.build(top)
+    dag = builder.dag
+    dag.validate()
+    return dag
+
+
+def _parse_defaults(raw: Any) -> dict:
+    if not isinstance(raw, dict):
+        raise WDLError("'defaults' must be a mapping")
+    unknown = set(raw) - {"service_time", "memory", "output_size"}
+    if unknown:
+        raise WDLError(f"unknown keys in defaults: {sorted(unknown)}")
+    return {
+        "service_time": parse_duration(raw.get("service_time", 0.1)),
+        "memory": parse_size(raw.get("memory", "64MB")),
+        "output_size": parse_size(raw.get("output_size", 0)),
+    }
+
+
+class _Parser:
+    """Raw YAML -> typed steps, with strict key validation."""
+
+    def __init__(self, defaults: dict):
+        self.defaults = defaults
+        self._names: set[str] = set()
+
+    def parse_sequence(self, name: str, raw_steps: Any) -> SequenceStep:
+        if not isinstance(raw_steps, list) or not raw_steps:
+            raise WDLError(f"sequence {name!r} requires a non-empty step list")
+        steps = [self.parse_step(raw) for raw in raw_steps]
+        return SequenceStep(name=name, steps=steps)
+
+    def parse_step(self, raw: Any) -> Step:
+        if not isinstance(raw, dict):
+            raise WDLError(f"step must be a mapping, got {type(raw).__name__}")
+        kinds = [k for k in _STEP_KINDS if k in raw]
+        if len(kinds) != 1:
+            raise WDLError(
+                f"step must have exactly one of {_STEP_KINDS}, got {sorted(raw)}"
+            )
+        kind = kinds[0]
+        name = raw[kind]
+        if not isinstance(name, str) or not name:
+            raise WDLError(f"{kind} step requires a non-empty name")
+        if name in self._names:
+            raise WDLError(f"duplicate step name {name!r}")
+        self._names.add(name)
+        handler = getattr(self, f"_parse_{kind}")
+        return handler(name, raw)
+
+    def _check_keys(self, raw: dict, allowed: set, kind: str, name: str) -> None:
+        unknown = set(raw) - allowed
+        if unknown:
+            raise WDLError(
+                f"unknown keys in {kind} step {name!r}: {sorted(unknown)}"
+            )
+
+    def _parse_task(self, name: str, raw: dict) -> TaskStep:
+        self._check_keys(raw, _TASK_KEYS, "task", name)
+        metadata = raw.get("metadata") or {}
+        if not isinstance(metadata, dict):
+            raise WDLError(f"metadata of task {name!r} must be a mapping")
+        return TaskStep(
+            name=name,
+            service_time=parse_duration(
+                raw.get("service_time", self.defaults["service_time"])
+            ),
+            memory=parse_size(raw.get("memory", self.defaults["memory"])),
+            output_size=parse_size(
+                raw.get("output_size", self.defaults["output_size"])
+            ),
+            metadata=dict(metadata),
+        )
+
+    def _parse_sequence(self, name: str, raw: dict) -> SequenceStep:
+        self._check_keys(raw, _SEQUENCE_KEYS, "sequence", name)
+        return self.parse_sequence(name, raw.get("steps"))
+
+    def _parse_parallel(self, name: str, raw: dict) -> ParallelStep:
+        self._check_keys(raw, _PARALLEL_KEYS, "parallel", name)
+        branches = raw.get("branches")
+        if not isinstance(branches, list) or len(branches) < 2:
+            raise WDLError(
+                f"parallel step {name!r} requires at least two branches"
+            )
+        parsed = [
+            self.parse_sequence(f"{name}.branch{i}", branch)
+            for i, branch in enumerate(branches)
+        ]
+        return ParallelStep(name=name, branches=parsed)
+
+    def _parse_switch(self, name: str, raw: dict) -> SwitchStep:
+        self._check_keys(raw, _SWITCH_KEYS, "switch", name)
+        cases = raw.get("cases")
+        if not isinstance(cases, list) or not cases:
+            raise WDLError(f"switch step {name!r} requires a 'cases' list")
+        parsed = []
+        for i, case in enumerate(cases):
+            if not isinstance(case, dict):
+                raise WDLError(f"case {i} of switch {name!r} must be a mapping")
+            unknown = set(case) - {"condition", "steps"}
+            if unknown:
+                raise WDLError(
+                    f"unknown keys in case {i} of switch {name!r}: "
+                    f"{sorted(unknown)}"
+                )
+            condition = case.get("condition")
+            if not isinstance(condition, str) or not condition:
+                raise WDLError(
+                    f"case {i} of switch {name!r} requires a 'condition'"
+                )
+            body = self.parse_sequence(f"{name}.case{i}", case.get("steps"))
+            parsed.append(SwitchCase(condition=condition, body=body))
+        return SwitchStep(name=name, cases=parsed)
+
+    def _parse_foreach(self, name: str, raw: dict) -> ForeachStep:
+        self._check_keys(raw, _FOREACH_KEYS, "foreach", name)
+        items = raw.get("items")
+        if not isinstance(items, int) or items < 1:
+            raise WDLError(
+                f"foreach step {name!r} requires integer 'items' >= 1"
+            )
+        body = self.parse_sequence(f"{name}.body", raw.get("steps"))
+        return ForeachStep(name=name, items=items, body=body)
+
+
+class _Builder:
+    """Typed steps -> DAG nodes/edges with forwarded data sizes."""
+
+    def __init__(self, workflow_name: str):
+        self.dag = WorkflowDAG(workflow_name)
+        self._forward: dict[str, float] = {}  # virtual node -> forwarded bytes
+
+    def build(self, top: SequenceStep) -> None:
+        self._build_sequence(top, incoming=[])
+
+    # Each builder returns the list of *exit* node names of the step.
+    def _build_sequence(
+        self, step: SequenceStep, incoming: list[str]
+    ) -> list[str]:
+        exits = incoming
+        for child in step.steps:
+            exits = self._build_step(child, exits)
+        return exits
+
+    def _build_step(self, step: Step, incoming: list[str]) -> list[str]:
+        if isinstance(step, TaskStep):
+            return self._build_task(step, incoming)
+        if isinstance(step, SequenceStep):
+            return self._build_sequence(step, incoming)
+        if isinstance(step, ParallelStep):
+            bodies = step.branches
+            meta = {}
+            return self._build_fanout(step.name, "parallel", bodies, incoming, meta)
+        if isinstance(step, SwitchStep):
+            bodies = [case.body for case in step.cases]
+            meta = {"conditions": [case.condition for case in step.cases]}
+            return self._build_fanout(step.name, "switch", bodies, incoming, meta)
+        if isinstance(step, ForeachStep):
+            return self._build_foreach(step, incoming)
+        raise WDLError(f"unsupported step type {type(step).__name__}")
+
+    def _emitted_size(self, name: str) -> float:
+        node = self.dag.node(name)
+        if node.is_virtual:
+            return self._forward.get(name, 0.0)
+        return node.output_size
+
+    def _connect(self, sources: list[str], dst: str) -> None:
+        for src in sources:
+            self.dag.add_edge(src, dst, data_size=self._emitted_size(src))
+
+    def _build_task(
+        self,
+        step: TaskStep,
+        incoming: list[str],
+        map_factor: float = 1.0,
+        step_type: str = "task",
+    ) -> list[str]:
+        node = self.dag.add_node(
+            FunctionNode(
+                name=step.name,
+                service_time=step.service_time,
+                memory=step.memory,
+                output_size=step.output_size,
+                map_factor=map_factor,
+                step_type=step_type,
+                metadata=dict(step.metadata),
+            )
+        )
+        self._connect(incoming, node.name)
+        return [node.name]
+
+    def _add_virtual(self, name: str, step_type: str, metadata: dict) -> str:
+        self.dag.add_node(
+            FunctionNode(
+                name=name,
+                service_time=0.0,
+                memory=0.0,
+                output_size=0.0,
+                is_virtual=True,
+                step_type=step_type,
+                metadata=dict(metadata),
+            )
+        )
+        return name
+
+    def _build_fanout(
+        self,
+        name: str,
+        step_type: str,
+        bodies: list[SequenceStep],
+        incoming: list[str],
+        metadata: dict,
+    ) -> list[str]:
+        start = self._add_virtual(f"{name}.start", step_type, metadata)
+        self._connect(incoming, start)
+        self._forward[start] = sum(
+            self._emitted_size(src) for src in incoming
+        )
+        all_exits: list[str] = []
+        for case_index, body in enumerate(bodies):
+            before = set(self.dag.node_names)
+            all_exits.extend(self._build_sequence(body, incoming=[start]))
+            if step_type == "switch":
+                # Tag every node of this arm so engines evaluating the
+                # switch at runtime (EngineConfig.evaluate_switches) can
+                # recognize and skip non-selected arms without any
+                # cross-engine coordination.
+                for node_name in self.dag.node_names:
+                    if node_name not in before:
+                        node = self.dag.node(node_name)
+                        node.metadata["switch"] = name
+                        node.metadata["switch_case"] = case_index
+        end = self._add_virtual(f"{name}.end", step_type, metadata)
+        self._connect(all_exits, end)
+        self._forward[end] = sum(self._emitted_size(src) for src in all_exits)
+        if step_type == "switch":
+            self.dag.node(f"{name}.start").metadata["case_count"] = len(bodies)
+        return [end]
+
+    def _build_foreach(
+        self, step: ForeachStep, incoming: list[str]
+    ) -> list[str]:
+        start = self._add_virtual(f"{step.name}.start", "foreach", {})
+        self._connect(incoming, start)
+        self._forward[start] = sum(self._emitted_size(src) for src in incoming)
+        # The body's functions each carry the foreach's map factor: one
+        # control-plane node, `items` data-plane executors (paper §4.1.2).
+        exits = self._build_mapped_sequence(step.body, [start], float(step.items))
+        end = self._add_virtual(f"{step.name}.end", "foreach", {})
+        self._connect(exits, end)
+        self._forward[end] = sum(self._emitted_size(src) for src in exits)
+        return [end]
+
+    def _build_mapped_sequence(
+        self, seq: SequenceStep, incoming: list[str], items: float
+    ) -> list[str]:
+        exits = incoming
+        for child in seq.steps:
+            if isinstance(child, TaskStep):
+                exits = self._build_task(
+                    child, exits, map_factor=items, step_type="foreach"
+                )
+            elif isinstance(child, SequenceStep):
+                exits = self._build_mapped_sequence(child, exits, items)
+            else:
+                raise WDLError(
+                    "foreach bodies may contain only task/sequence steps, "
+                    f"got {child.kind!r} ({child.name!r})"
+                )
+        return exits

@@ -1,0 +1,101 @@
+"""Typed representation of WDL logic steps.
+
+The Workflow Definition Language supports the five step kinds of the
+paper (§4.1.1): task, sequence, parallel, switch, and foreach.  The
+parser first lifts raw YAML into these dataclasses (validating shape and
+rejecting unknown keys), then lowers them onto a :class:`WorkflowDAG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "TaskStep",
+    "SequenceStep",
+    "ParallelStep",
+    "SwitchCase",
+    "SwitchStep",
+    "ForeachStep",
+    "Step",
+    "WDLError",
+]
+
+
+class WDLError(ValueError):
+    """Violated workflow definition (paper: the parser must reject these)."""
+
+
+@dataclass
+class TaskStep:
+    """A single function invocation."""
+
+    name: str
+    service_time: float
+    memory: float
+    output_size: float
+    metadata: dict = field(default_factory=dict)
+
+    kind = "task"
+
+
+@dataclass
+class SequenceStep:
+    """Serial composition of child steps."""
+
+    name: str
+    steps: list["Step"]
+
+    kind = "sequence"
+
+
+@dataclass
+class ParallelStep:
+    """Concurrent branches; all must finish before the flow continues."""
+
+    name: str
+    branches: list[SequenceStep]
+
+    kind = "parallel"
+
+
+@dataclass
+class SwitchCase:
+    """One arm of a switch step."""
+
+    condition: str
+    body: SequenceStep
+
+
+@dataclass
+class SwitchStep:
+    """Conditional branching.
+
+    The paper notes the workflow still provisions containers for every
+    branch, so the DAG parser treats a switch like a parallel step; the
+    conditions are preserved as metadata for the engines.
+    """
+
+    name: str
+    cases: list[SwitchCase]
+
+    kind = "switch"
+
+
+@dataclass
+class ForeachStep:
+    """Data-parallel map over the input's elements.
+
+    ``items`` is the (average) fan-out: the DAG parser folds all
+    instances into one node with ``map_factor = items`` (paper §4.1.1).
+    """
+
+    name: str
+    items: int
+    body: SequenceStep
+
+    kind = "foreach"
+
+
+Step = Union[TaskStep, SequenceStep, ParallelStep, SwitchStep, ForeachStep]

@@ -1,0 +1,93 @@
+"""Human-friendly unit parsing for the workflow definition language.
+
+WDL files describe data sizes ("2MB", "512KB") and durations ("200ms",
+"1.5s").  This module converts them to bytes / seconds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+__all__ = ["parse_size", "parse_duration", "UnitError", "format_size"]
+
+Numeric = Union[int, float]
+
+_SIZE_UNITS = {
+    "b": 1.0,
+    "kb": 1024.0,
+    "mb": 1024.0**2,
+    "gb": 1024.0**3,
+    "tb": 1024.0**4,
+}
+
+_DURATION_UNITS = {
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+}
+
+_PATTERN = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+class UnitError(ValueError):
+    """Unparseable size or duration literal."""
+
+
+def parse_size(value: Union[str, Numeric]) -> float:
+    """Parse a data size into bytes.
+
+    Bare numbers are bytes.  Accepts B/KB/MB/GB/TB suffixes
+    (case-insensitive).
+
+    >>> parse_size("2MB")
+    2097152.0
+    >>> parse_size(1024)
+    1024.0
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise UnitError(f"negative size: {value}")
+        return float(value)
+    match = _PATTERN.match(value)
+    if not match:
+        raise UnitError(f"unparseable size literal: {value!r}")
+    number, unit = match.groups()
+    unit = unit.lower() or "b"
+    if unit not in _SIZE_UNITS:
+        raise UnitError(f"unknown size unit {unit!r} in {value!r}")
+    return float(number) * _SIZE_UNITS[unit]
+
+
+def parse_duration(value: Union[str, Numeric]) -> float:
+    """Parse a duration into seconds.  Bare numbers are seconds.
+
+    >>> parse_duration("200ms")
+    0.2
+    >>> parse_duration(1.5)
+    1.5
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise UnitError(f"negative duration: {value}")
+        return float(value)
+    match = _PATTERN.match(value)
+    if not match:
+        raise UnitError(f"unparseable duration literal: {value!r}")
+    number, unit = match.groups()
+    unit = unit.lower() or "s"
+    if unit not in _DURATION_UNITS:
+        raise UnitError(f"unknown duration unit {unit!r} in {value!r}")
+    return float(number) * _DURATION_UNITS[unit]
+
+
+def format_size(nbytes: float) -> str:
+    """Render a byte count for reports ("1.2 MB")."""
+    for unit in ("TB", "GB", "MB", "KB"):
+        threshold = _SIZE_UNITS[unit.lower()]
+        if abs(nbytes) >= threshold:
+            return f"{nbytes / threshold:.2f} {unit}"
+    return f"{nbytes:.0f} B"

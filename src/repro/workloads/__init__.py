@@ -1,0 +1,45 @@
+"""The paper's 8 workflow benchmarks (Table 1)."""
+
+from .pegasus import cycles, epigenomics, genome, soykb
+from .realworld import (
+    file_processing,
+    illegal_recognizer,
+    video_ffmpeg,
+    word_count,
+)
+from .synthetic import chain, diamond, fan, layered_random, tree
+from .wfcommons import WfCommonsError, load_wfcommons
+from .registry import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    BenchmarkSpec,
+    REAL_WORLD,
+    SCIENTIFIC,
+    build,
+    build_all,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "chain",
+    "diamond",
+    "fan",
+    "layered_random",
+    "load_wfcommons",
+    "tree",
+    "WfCommonsError",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "build",
+    "build_all",
+    "cycles",
+    "epigenomics",
+    "file_processing",
+    "genome",
+    "illegal_recognizer",
+    "REAL_WORLD",
+    "SCIENTIFIC",
+    "soykb",
+    "video_ffmpeg",
+    "word_count",
+]

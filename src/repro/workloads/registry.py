@@ -1,0 +1,118 @@
+"""Benchmark registry: the paper's Table 1 in executable form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..dag import WorkflowDAG
+from . import pegasus, realworld
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "SCIENTIFIC",
+    "REAL_WORLD",
+    "ALL_BENCHMARKS",
+    "build",
+    "build_all",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: metadata plus its DAG builder."""
+
+    name: str
+    abbrev: str
+    category: str  # "scientific" | "real-world"
+    source: str
+    builder: Callable[..., WorkflowDAG]
+
+    def build(self, **kwargs) -> WorkflowDAG:
+        return self.builder(**kwargs)
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            name="cycles",
+            abbrev="Cyc",
+            category="scientific",
+            source="Pegasus workflow instances",
+            builder=pegasus.cycles,
+        ),
+        BenchmarkSpec(
+            name="epigenomics",
+            abbrev="Epi",
+            category="scientific",
+            source="Pegasus workflow instances",
+            builder=pegasus.epigenomics,
+        ),
+        BenchmarkSpec(
+            name="genome",
+            abbrev="Gen",
+            category="scientific",
+            source="Pegasus workflow instances",
+            builder=pegasus.genome,
+        ),
+        BenchmarkSpec(
+            name="soykb",
+            abbrev="Soy",
+            category="scientific",
+            source="Pegasus workflow instances",
+            builder=pegasus.soykb,
+        ),
+        BenchmarkSpec(
+            name="video-ffmpeg",
+            abbrev="Vid",
+            category="real-world",
+            source="Alibaba Function Compute",
+            builder=realworld.video_ffmpeg,
+        ),
+        BenchmarkSpec(
+            name="illegal-recognizer",
+            abbrev="IR",
+            category="real-world",
+            source="Google Cloud Functions",
+            builder=realworld.illegal_recognizer,
+        ),
+        BenchmarkSpec(
+            name="file-processing",
+            abbrev="FP",
+            category="real-world",
+            source="AWS Lambda",
+            builder=realworld.file_processing,
+        ),
+        BenchmarkSpec(
+            name="word-count",
+            abbrev="WC",
+            category="real-world",
+            source="Zhang et al.",
+            builder=realworld.word_count,
+        ),
+    ]
+}
+
+SCIENTIFIC = [n for n, s in BENCHMARKS.items() if s.category == "scientific"]
+REAL_WORLD = [n for n, s in BENCHMARKS.items() if s.category == "real-world"]
+ALL_BENCHMARKS = list(BENCHMARKS)
+
+
+def build(name: str, **kwargs) -> WorkflowDAG:
+    """Build a benchmark DAG by name (accepts abbreviations too)."""
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        by_abbrev = {s.abbrev.lower(): s for s in BENCHMARKS.values()}
+        spec = by_abbrev.get(name.lower())
+    if spec is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {ALL_BENCHMARKS}"
+        )
+    return spec.build(**kwargs)
+
+
+def build_all() -> dict[str, WorkflowDAG]:
+    """All 8 benchmarks at their paper-default sizes."""
+    return {name: spec.build() for name, spec in BENCHMARKS.items()}

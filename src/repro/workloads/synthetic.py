@@ -1,0 +1,162 @@
+"""Synthetic workflow generators for testing and capacity planning.
+
+Parameterized DAG shapes beyond the paper's eight benchmarks: chains,
+fan-outs, diamonds, trees, and layered random DAGs.  Deterministic under
+a seed, so tests and sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..dag import WorkflowDAG
+
+__all__ = ["chain", "fan", "diamond", "tree", "layered_random"]
+
+MB = 1024.0 * 1024.0
+
+
+def chain(
+    length: int = 5,
+    name: str = "chain",
+    service_time: float = 0.1,
+    output_size: float = 1 * MB,
+) -> WorkflowDAG:
+    """``f0 -> f1 -> ... -> f{length-1}``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    dag = WorkflowDAG(name)
+    previous: Optional[str] = None
+    for index in range(length):
+        node = f"f{index}"
+        dag.add_function(
+            node, service_time=service_time, output_size=output_size
+        )
+        if previous is not None:
+            dag.add_edge(previous, node, data_size=output_size)
+        previous = node
+    return dag
+
+
+def fan(
+    width: int = 8,
+    name: str = "fan",
+    service_time: float = 0.1,
+    hub_output: float = 4 * MB,
+    branch_output: float = 1 * MB,
+    gather: bool = True,
+) -> WorkflowDAG:
+    """One hub fanning to ``width`` branches, optionally gathered."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    dag = WorkflowDAG(name)
+    dag.add_function("hub", service_time=service_time, output_size=hub_output)
+    for index in range(width):
+        node = f"branch-{index}"
+        dag.add_function(
+            node, service_time=service_time, output_size=branch_output
+        )
+        dag.add_edge("hub", node, data_size=hub_output)
+    if gather:
+        dag.add_function("gather", service_time=service_time, output_size=0)
+        for index in range(width):
+            dag.add_edge(f"branch-{index}", "gather", data_size=branch_output)
+    return dag
+
+
+def diamond(
+    width: int = 2,
+    name: str = "diamond",
+    service_time: float = 0.1,
+    output_size: float = 1 * MB,
+) -> WorkflowDAG:
+    """``source -> {mid_i} -> sink``."""
+    dag = fan(
+        width=width,
+        name=name,
+        service_time=service_time,
+        hub_output=output_size,
+        branch_output=output_size,
+        gather=True,
+    )
+    return dag
+
+
+def tree(
+    depth: int = 3,
+    fanout: int = 2,
+    name: str = "tree",
+    service_time: float = 0.1,
+    output_size: float = 1 * MB,
+) -> WorkflowDAG:
+    """A complete ``fanout``-ary tree of ``depth`` levels below the root."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    dag = WorkflowDAG(name)
+    dag.add_function("n0", service_time=service_time, output_size=output_size)
+    frontier = ["n0"]
+    counter = 1
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                node = f"n{counter}"
+                counter += 1
+                dag.add_function(
+                    node, service_time=service_time, output_size=output_size
+                )
+                dag.add_edge(parent, node, data_size=output_size)
+                next_frontier.append(node)
+        frontier = next_frontier
+    return dag
+
+
+def layered_random(
+    layers: int = 4,
+    width: int = 4,
+    density: float = 0.5,
+    name: str = "layered",
+    seed: int = 7,
+    service_time_range: tuple[float, float] = (0.05, 0.4),
+    output_size_range: tuple[float, float] = (0.1 * MB, 8 * MB),
+) -> WorkflowDAG:
+    """A layered random DAG: edges only flow to the next layer.
+
+    Every node is guaranteed at least one incoming edge (except layer 0)
+    and at least one outgoing edge (except the last layer), so the graph
+    is connected and every function participates.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be >= 1")
+    if not 0 <= density <= 1:
+        raise ValueError("density must be in [0, 1]")
+    rng = random.Random(seed)
+    dag = WorkflowDAG(name)
+    grid = [
+        [f"l{layer}n{i}" for i in range(width)] for layer in range(layers)
+    ]
+    for layer in grid:
+        for node in layer:
+            dag.add_function(
+                node,
+                service_time=rng.uniform(*service_time_range),
+                output_size=rng.uniform(*output_size_range),
+            )
+    for upper, lower in zip(grid, grid[1:]):
+        for src in upper:
+            targets = [t for t in lower if rng.random() < density]
+            if not targets:
+                targets = [rng.choice(lower)]
+            for dst in targets:
+                dag.add_edge(
+                    src, dst, data_size=dag.node(src).output_size
+                )
+        for dst in lower:
+            if not dag.predecessors(dst):
+                src = rng.choice(upper)
+                dag.add_edge(src, dst, data_size=dag.node(src).output_size)
+    dag.validate()
+    return dag

@@ -1,0 +1,84 @@
+"""Unit tests for closed-loop / open-loop invocation clients."""
+
+import pytest
+
+from repro.clients import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.core import EngineConfig, FaaSFlowSystem, Placement
+from repro.dag import WorkflowDAG
+from repro.sim import Cluster, ClusterConfig, ContainerSpec, Environment
+
+MB = 1024.0 * 1024.0
+
+
+def make_system(service_time=0.1):
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterConfig(workers=2, container=ContainerSpec(cold_start_time=0.05)),
+    )
+    dag = WorkflowDAG("w")
+    dag.add_function("f", service_time=service_time, output_size=0)
+    system = FaaSFlowSystem(cluster, EngineConfig(ship_data=False))
+    system.deploy(
+        dag, Placement(workflow="w", assignment={"f": "worker-0"})
+    )
+    return system
+
+
+class TestClosedLoop:
+    def test_one_at_a_time(self):
+        system = make_system(service_time=0.2)
+        records = run_closed_loop(system, "w", 5)
+        assert len(records) == 5
+        # Strictly sequential: each starts after the previous finished.
+        for prev, cur in zip(records, records[1:]):
+            assert cur.started_at >= prev.finished_at
+
+    def test_invocation_count_validated(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            ClosedLoopClient(system, "w", 0)
+
+    def test_records_match_metrics(self):
+        system = make_system()
+        records = run_closed_loop(system, "w", 3)
+        assert len(system.metrics.invocations_of("w")) == 3
+        assert [r.invocation_id for r in records] == [
+            r.invocation_id for r in system.metrics.invocations_of("w")
+        ]
+
+
+class TestOpenLoop:
+    def test_arrivals_overlap_when_rate_exceeds_service(self):
+        system = make_system(service_time=5.0)
+        records = run_open_loop(
+            system, "w", 4, rate_per_minute=120, poisson=False
+        )
+        assert len(records) == 4
+        starts = sorted(r.started_at for r in system.metrics.invocations_of("w"))
+        # Deterministic arrivals every 0.5 s despite 5 s service times.
+        assert starts[1] - starts[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_poisson_arrivals_are_seeded(self):
+        r1 = run_open_loop(make_system(), "w", 5, 60, poisson=True, seed=3)
+        r2 = run_open_loop(make_system(), "w", 5, 60, poisson=True, seed=3)
+        assert [round(a.started_at, 9) for a in r1] == [
+            round(a.started_at, 9) for a in r2
+        ]
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            OpenLoopClient(make_system(), "w", 5, rate_per_minute=0)
+
+    def test_all_records_collected_before_return(self):
+        system = make_system(service_time=1.0)
+        records = run_open_loop(
+            system, "w", 6, rate_per_minute=600, poisson=False
+        )
+        assert len(records) == 6
+        assert all(r.status == "ok" for r in records)

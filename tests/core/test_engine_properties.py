@@ -1,0 +1,169 @@
+"""Property-based end-to-end tests: random workflows, hard invariants.
+
+Hypothesis generates random WDL-shaped workflows; both engines execute
+them on fresh clusters with tracing on, and the invariants that define
+a correct workflow engine are asserted:
+
+- the invocation completes,
+- every function (including virtual step markers) executes exactly once,
+- no function executes before all of its predecessors,
+- the same invariants hold under any placement and with data shipping.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients import run_closed_loop
+from repro.core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    HyperFlowServerlessSystem,
+    Kind,
+    Tracer,
+    hash_partition,
+)
+from repro.sim import Cluster, ClusterConfig, ContainerSpec, Environment
+from repro.wdl import workflow_from_dict
+
+MB = 1024.0 * 1024.0
+
+
+@st.composite
+def random_wdl(draw):
+    """A random workflow document: sequences, parallels, foreach."""
+    counter = {"n": 0}
+
+    def task():
+        counter["n"] += 1
+        return {
+            "task": f"t{counter['n']}",
+            "service_time": draw(
+                st.floats(min_value=0.01, max_value=0.2)
+            ),
+            "output_size": draw(
+                st.sampled_from([0, 0.1 * MB, 1 * MB, 4 * MB])
+            ),
+            "memory": "48MB",
+        }
+
+    def step(depth):
+        if depth >= 2:
+            return task()
+        kind = draw(st.sampled_from(["task", "task", "parallel", "foreach"]))
+        if kind == "task":
+            return task()
+        if kind == "parallel":
+            branches = [
+                [step(depth + 1) for _ in range(draw(st.integers(1, 2)))]
+                for _ in range(draw(st.integers(2, 3)))
+            ]
+            counter["n"] += 1
+            return {"parallel": f"p{counter['n']}", "branches": branches}
+        counter["n"] += 1
+        return {
+            "foreach": f"fe{counter['n']}",
+            "items": draw(st.integers(2, 4)),
+            "steps": [task()],
+        }
+
+    steps = [step(0) for _ in range(draw(st.integers(1, 4)))]
+    return {"name": "random-wf", "steps": steps}
+
+
+def fresh_cluster():
+    env = Environment()
+    return Cluster(
+        env,
+        ClusterConfig(
+            workers=3,
+            container=ContainerSpec(cold_start_time=0.05),
+        ),
+    )
+
+
+def check_invariants(dag, tracer, record):
+    assert record.status == "ok"
+    counts = tracer.execution_counts(record.invocation_id)
+    assert counts == {name: 1 for name in dag.node_names}
+    inv = record.invocation_id
+    for edge in dag.edges:
+        assert tracer.execution_time(inv, edge.src) <= (
+            tracer.execution_time(inv, edge.dst) + 1e-12
+        )
+
+
+class TestRandomWorkflows:
+    @settings(max_examples=30, deadline=None)
+    @given(document=random_wdl(), ship_data=st.booleans())
+    def test_worker_sp_invariants(self, document, ship_data):
+        dag = workflow_from_dict(document)
+        cluster = fresh_cluster()
+        tracer = Tracer()
+        system = FaaSFlowSystem(
+            cluster, EngineConfig(ship_data=ship_data), tracer=tracer
+        )
+        system.deploy(dag, hash_partition(dag, cluster.worker_names()))
+        for worker in cluster.workers:
+            worker.set_faastore_quota(256 * MB, workflow=dag.name)
+        record = run_closed_loop(system, dag.name, 1)[0]
+        check_invariants(dag, tracer, record)
+
+    @settings(max_examples=30, deadline=None)
+    @given(document=random_wdl(), ship_data=st.booleans())
+    def test_master_sp_invariants(self, document, ship_data):
+        dag = workflow_from_dict(document)
+        cluster = fresh_cluster()
+        tracer = Tracer()
+        system = HyperFlowServerlessSystem(
+            cluster, EngineConfig(ship_data=ship_data), tracer=tracer
+        )
+        system.register(dag, hash_partition(dag, cluster.worker_names()))
+        record = run_closed_loop(system, dag.name, 1)[0]
+        check_invariants(dag, tracer, record)
+
+    @settings(max_examples=15, deadline=None)
+    @given(document=random_wdl())
+    def test_both_engines_run_the_same_functions(self, document):
+        """The two schedule patterns must execute identical work."""
+        dag_w = workflow_from_dict(document)
+        cluster_w = fresh_cluster()
+        tracer_w = Tracer()
+        worker = FaaSFlowSystem(
+            cluster_w, EngineConfig(ship_data=False), tracer=tracer_w
+        )
+        worker.deploy(dag_w, hash_partition(dag_w, cluster_w.worker_names()))
+        record_w = run_closed_loop(worker, dag_w.name, 1)[0]
+
+        dag_m = workflow_from_dict(document)
+        cluster_m = fresh_cluster()
+        tracer_m = Tracer()
+        master = HyperFlowServerlessSystem(
+            cluster_m, EngineConfig(ship_data=False), tracer=tracer_m
+        )
+        master.register(dag_m, hash_partition(dag_m, cluster_m.worker_names()))
+        record_m = run_closed_loop(master, dag_m.name, 1)[0]
+
+        assert tracer_w.execution_counts(record_w.invocation_id) == (
+            tracer_m.execution_counts(record_m.invocation_id)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(document=random_wdl(), seed=st.integers(0, 100))
+    def test_grouped_placement_preserves_invariants(self, document, seed):
+        """Algorithm 1 placements are as correct as hash placements."""
+        from repro.core import GraphScheduler
+        from repro.dag import estimate_edge_weights
+
+        dag = workflow_from_dict(document)
+        cluster = fresh_cluster()
+        tracer = Tracer()
+        system = FaaSFlowSystem(
+            cluster, EngineConfig(ship_data=True), tracer=tracer
+        )
+        scheduler = GraphScheduler(cluster, seed=seed)
+        estimate_edge_weights(dag, bandwidth=cluster.config.storage_bandwidth)
+        placement, quotas, _ = scheduler.schedule(dag, force_grouping=True)
+        system.deploy(dag, placement, quotas=quotas)
+        record = run_closed_loop(system, dag.name, 1)[0]
+        check_invariants(dag, tracer, record)

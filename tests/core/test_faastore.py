@@ -1,0 +1,171 @@
+"""Unit tests for the storage policies (RemoteStorePolicy / FaaStorePolicy)."""
+
+import pytest
+
+from repro.core import FaaStorePolicy, RemoteStorePolicy, object_key
+from repro.metrics import MetricsCollector
+
+from .conftest import MB, all_on, fanout_dag, linear_dag, round_robin
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestRemoteStorePolicy:
+    def test_save_goes_to_remote_store(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = RemoteStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 1 * MB))
+        assert object_key("lin", 1, "f0", 0) in cluster.remote_store
+        assert len(metrics.transfers) == 1
+        assert not metrics.transfers[0].local
+        assert metrics.transfers[0].phase == "put"
+
+    def test_fetch_comes_from_remote_store(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = RemoteStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 1 * MB))
+        drive(
+            env,
+            policy.fetch_input(node, dag, placement, 1, "f0", "f1", 0, 1 * MB),
+        )
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        assert len(gets) == 1
+        assert gets[0].producer == "f0"
+        assert gets[0].consumer == "f1"
+
+    def test_zero_size_is_a_noop(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = RemoteStorePolicy(cluster, metrics)
+        dag = linear_dag(output_size=0)
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 0))
+        assert metrics.transfers == []
+
+    def test_cleanup_removes_objects(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = RemoteStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        drive(env, policy.save_output(node, dag, placement, 7, "f0", 0, 1 * MB))
+        policy.cleanup_invocation(dag, 7)
+        assert object_key("lin", 7, "f0", 0) not in cluster.remote_store
+
+
+class TestFaaStorePolicy:
+    def test_colocated_consumers_use_local_store(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(100 * MB)
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 1 * MB))
+        assert metrics.transfers[0].local
+        assert object_key("lin", 1, "f0", 0) in node.memstore
+        assert object_key("lin", 1, "f0", 0) not in cluster.remote_store
+
+    def test_remote_consumer_forces_remote_store(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = round_robin(dag, ["worker-0", "worker-1"])
+        node = cluster.node(placement.node_of("f0"))
+        node.set_faastore_quota(100 * MB)
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 1 * MB))
+        assert not metrics.transfers[0].local
+        assert object_key("lin", 1, "f0", 0) in cluster.remote_store
+
+    def test_quota_overflow_falls_back_to_remote(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag(output_size=10 * MB)
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(5 * MB)  # too small for the 10 MB object
+        drive(env, policy.save_output(node, dag, placement, 1, "f0", 0, 10 * MB))
+        assert not metrics.transfers[0].local
+        assert node.memstore.rejected_puts >= 1
+
+    def test_local_fetch_and_refcount_cleanup(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = fanout_dag(branches=2)  # head feeds b0 and b1
+        placement = all_on(dag, "worker-0")
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(100 * MB)
+        drive(env, policy.save_output(node, dag, placement, 1, "head", 0, 2 * MB))
+        key = object_key("fan", 1, "head", 0)
+        drive(
+            env,
+            policy.fetch_input(node, dag, placement, 1, "head", "b0", 0, 2 * MB),
+        )
+        assert key in node.memstore  # b1 still needs it
+        drive(
+            env,
+            policy.fetch_input(node, dag, placement, 1, "head", "b1", 0, 2 * MB),
+        )
+        assert key not in node.memstore  # freed after the last consumer
+        assert node.memstore.used == 0
+
+    def test_fetch_falls_back_to_remote_when_not_local(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        placement = round_robin(dag, ["worker-0", "worker-1"])
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "f0", 0, 1 * MB),
+        )
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "f0", "f1", 0, 1 * MB
+            ),
+        )
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        assert len(gets) == 1 and not gets[0].local
+
+    def test_local_is_much_faster_than_remote(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag(output_size=20 * MB)
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(100 * MB)
+        local_placement = all_on(dag, "worker-0")
+        drive(
+            env,
+            policy.save_output(node, dag, local_placement, 1, "f0", 0, 20 * MB),
+        )
+        local_put = metrics.transfers[-1].duration
+        remote_placement = round_robin(dag, ["worker-0", "worker-1"])
+        drive(
+            env,
+            policy.save_output(node, dag, remote_placement, 2, "f0", 0, 20 * MB),
+        )
+        remote_put = metrics.transfers[-1].duration
+        assert local_put < remote_put / 20
+
+    def test_cleanup_clears_both_tiers(self, env, cluster):
+        metrics = MetricsCollector()
+        policy = FaaStorePolicy(cluster, metrics)
+        dag = linear_dag()
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(100 * MB)
+        drive(
+            env,
+            policy.save_output(node, dag, all_on(dag, "worker-0"), 1, "f0", 0, 1 * MB),
+        )
+        policy.cleanup_invocation(dag, 1)
+        assert node.memstore.key_count == 0

@@ -1,0 +1,261 @@
+"""Tests for FaaStore's read-through cache and single-flight coalescing.
+
+These mechanics are what reconcile Table 4 (fan-out objects cross the
+network once per node) with Fig. 15 (the same workflow spreads over all
+workers); they deserve their own scrutiny.
+"""
+
+import pytest
+
+from repro.core import FaaStorePolicy, Placement, object_key
+from repro.dag import WorkflowDAG
+from repro.metrics import MetricsCollector
+
+from .conftest import MB
+
+
+def fanout_two_nodes(consumers_here=3, consumers_there=3):
+    """producer on worker-0; consumers split across worker-0/worker-1."""
+    dag = WorkflowDAG("fan2")
+    dag.add_function("src", output_size=4 * MB)
+    assignment = {"src": "worker-0"}
+    for i in range(consumers_here):
+        name = f"here-{i}"
+        dag.add_function(name)
+        dag.add_edge("src", name, data_size=4 * MB)
+        assignment[name] = "worker-0"
+    for i in range(consumers_there):
+        name = f"there-{i}"
+        dag.add_function(name)
+        dag.add_edge("src", name, data_size=4 * MB)
+        assignment[name] = "worker-1"
+    return dag, Placement(workflow="fan2", assignment=assignment)
+
+
+def make_policy(cluster):
+    metrics = MetricsCollector()
+    return FaaStorePolicy(cluster, metrics), metrics
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestProducerSideSeeding:
+    def test_mixed_consumers_put_remote_and_seed_locally(self, env, cluster):
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes()
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(64 * MB)
+        drive(env, policy.save_output(node, dag, placement, 1, "src", 0, 4 * MB))
+        key = object_key("fan2", 1, "src", 0)
+        # Remote put recorded (the object must be durable for worker-1)...
+        puts = [t for t in metrics.transfers if t.phase == "put"]
+        assert len(puts) == 1 and not puts[0].local
+        # ...but worker-0's cache was seeded silently.
+        assert key in node.memstore
+
+    def test_local_consumers_hit_the_seed(self, env, cluster):
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_here=2)
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(64 * MB)
+        drive(env, policy.save_output(node, dag, placement, 1, "src", 0, 4 * MB))
+        for consumer in ("here-0", "here-1"):
+            drive(
+                env,
+                policy.fetch_input(
+                    node, dag, placement, 1, "src", consumer, 0, 4 * MB
+                ),
+            )
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        assert all(g.local for g in gets)
+        # Refcount freed the seed after the last local consumer.
+        assert object_key("fan2", 1, "src", 0) not in node.memstore
+
+    def test_seed_skipped_without_quota(self, env, cluster):
+        policy, _ = make_policy(cluster)
+        dag, placement = fanout_two_nodes()
+        node = cluster.node("worker-0")  # quota defaults to 0
+        drive(env, policy.save_output(node, dag, placement, 1, "src", 0, 4 * MB))
+        assert object_key("fan2", 1, "src", 0) not in node.memstore
+
+
+class TestReadThrough:
+    def test_remote_consumer_seeds_its_own_node(self, env, cluster):
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_there=3)
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        consumer_node.set_faastore_quota(64 * MB)
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "src", "there-0", 0, 4 * MB
+            ),
+        )
+        # One remote get, object now cached for there-1/there-2.
+        assert object_key("fan2", 1, "src", 0) in consumer_node.memstore
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "src", "there-1", 0, 4 * MB
+            ),
+        )
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        assert [g.local for g in gets] == [False, True]
+
+    def test_sole_consumer_does_not_seed(self, env, cluster):
+        policy, _ = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_there=1)
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        consumer_node.set_faastore_quota(64 * MB)
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "src", "there-0", 0, 4 * MB
+            ),
+        )
+        # Nobody else needs it here: caching would waste quota.
+        assert object_key("fan2", 1, "src", 0) not in consumer_node.memstore
+
+    def test_db_marked_producer_bypasses_cache(self, env, cluster):
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes()
+        dag.node("src").metadata["storage_type"] = "DB"
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        for node in (producer_node, consumer_node):
+            node.set_faastore_quota(64 * MB)
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        assert object_key("fan2", 1, "src", 0) not in producer_node.memstore
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "src", "there-0", 0, 4 * MB
+            ),
+        )
+        assert object_key("fan2", 1, "src", 0) not in consumer_node.memstore
+        assert all(not t.local for t in metrics.transfers)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_fetch_once(self, env, cluster):
+        """All consumers miss simultaneously (the fan-out pattern): one
+        remote fetch, the rest wait and hit the seeded cache."""
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_there=3)
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        consumer_node.set_faastore_quota(64 * MB)
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        fetches = [
+            env.process(
+                policy.fetch_input(
+                    consumer_node, dag, placement, 1, "src", f"there-{i}",
+                    0, 4 * MB,
+                )
+            )
+            for i in range(3)
+        ]
+        env.run(until=env.all_of(fetches))
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        remote_gets = [g for g in gets if not g.local]
+        assert len(remote_gets) == 1
+        assert len(gets) == 3
+        # Cache fully drained after the last consumer.
+        assert consumer_node.memstore.key_count == 0
+
+    def test_waiters_fall_back_when_seed_fails(self, env, cluster):
+        """If the leader cannot seed (zero quota), waiters must still
+        get the data — via their own remote fetches."""
+        policy, metrics = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_there=3)
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")  # quota 0
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        fetches = [
+            env.process(
+                policy.fetch_input(
+                    consumer_node, dag, placement, 1, "src", f"there-{i}",
+                    0, 4 * MB,
+                )
+            )
+            for i in range(3)
+        ]
+        env.run(until=env.all_of(fetches))
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        assert len(gets) == 3
+        assert all(not g.local for g in gets)
+
+    def test_inflight_slot_cleared_after_completion(self, env, cluster):
+        policy, _ = make_policy(cluster)
+        dag, placement = fanout_two_nodes(consumers_there=2)
+        producer_node = cluster.node("worker-0")
+        consumer_node = cluster.node("worker-1")
+        consumer_node.set_faastore_quota(64 * MB)
+        drive(
+            env,
+            policy.save_output(producer_node, dag, placement, 1, "src", 0, 4 * MB),
+        )
+        drive(
+            env,
+            policy.fetch_input(
+                consumer_node, dag, placement, 1, "src", "there-0", 0, 4 * MB
+            ),
+        )
+        assert policy._inflight == {}
+
+
+class TestChunkedCache:
+    def test_mapped_producer_chunks_cached_independently(self, env, cluster):
+        dag = WorkflowDAG("mapped")
+        dag.add_function("mapper", output_size=8 * MB, map_factor=4)
+        dag.add_function("a")
+        dag.add_function("b")
+        dag.add_edge("mapper", "a", data_size=8 * MB)
+        dag.add_edge("mapper", "b", data_size=8 * MB)
+        placement = Placement(
+            workflow="mapped",
+            assignment={"mapper": "worker-0", "a": "worker-0", "b": "worker-0"},
+        )
+        policy, metrics = make_policy(cluster)
+        node = cluster.node("worker-0")
+        node.set_faastore_quota(64 * MB)
+        for chunk in range(4):
+            drive(
+                env,
+                policy.save_output(
+                    node, dag, placement, 1, "mapper", chunk, 2 * MB
+                ),
+            )
+        assert node.memstore.key_count == 4
+        for consumer in ("a", "b"):
+            for chunk in range(4):
+                drive(
+                    env,
+                    policy.fetch_input(
+                        node, dag, placement, 1, "mapper", consumer,
+                        chunk, 2 * MB,
+                    ),
+                )
+        assert node.memstore.key_count == 0
+        assert all(t.local for t in metrics.transfers)

@@ -1,0 +1,251 @@
+"""Unit and property tests for Algorithm 1 (function grouping)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GroupingConfig, GroupingError, group_functions
+from repro.dag import WorkflowDAG, estimate_edge_weights
+
+MB = 1024.0 * 1024.0
+
+
+def make_config(workers=("w0", "w1", "w2"), capacity=100, quota=1024 * MB, **kw):
+    return GroupingConfig(
+        workers=list(workers),
+        node_capacity={w: capacity for w in workers},
+        quota=quota,
+        **kw,
+    )
+
+
+def weighted_chain(n=4, weight=1.0, data=1 * MB):
+    dag = WorkflowDAG("chain")
+    for i in range(n):
+        dag.add_function(f"f{i}", service_time=0.1, output_size=data)
+    for i in range(n - 1):
+        dag.add_edge(f"f{i}", f"f{i+1}", data_size=data, weight=weight)
+    return dag
+
+
+class TestBasicGrouping:
+    def test_chain_merges_into_one_group(self):
+        dag = weighted_chain(4)
+        result = group_functions(dag, make_config())
+        assert len(result.groups) == 1
+        assert result.groups[0] == {"f0", "f1", "f2", "f3"}
+
+    def test_placement_covers_all_functions(self):
+        dag = weighted_chain(5)
+        result = group_functions(dag, make_config())
+        result.placement.validate_against(dag)
+
+    def test_heaviest_edge_merged_first(self):
+        dag = WorkflowDAG("w")
+        for n in ("a", "b", "c"):
+            dag.add_function(n, service_time=0.1, output_size=1 * MB)
+        dag.add_edge("a", "b", data_size=1 * MB, weight=0.1)
+        dag.add_edge("b", "c", data_size=1 * MB, weight=5.0)
+        # Capacity for only one merge (2 functions per node).
+        config = make_config(capacity=2)
+        result = try_group(dag, config)
+        heavy_group = result.groups[result.group_of("b")]
+        assert "c" in heavy_group
+
+    def test_storage_type_flips_on_localized_producer(self):
+        dag = weighted_chain(2)
+        result = group_functions(dag, make_config())
+        assert result.storage_type["f0"] == "MEM"
+        # The sink f1 produces data nobody consumes in-graph; its edge was
+        # never localized.
+        assert result.storage_type["f1"] == "DB"
+        assert result.localized_functions == ["f0"]
+
+    def test_mem_consume_tracks_localized_bytes(self):
+        dag = weighted_chain(3, data=2 * MB)
+        result = group_functions(dag, make_config())
+        assert result.mem_consume == pytest.approx(4 * MB)
+
+    def test_iterations_bounded(self):
+        dag = weighted_chain(6)
+        result = group_functions(dag, make_config())
+        assert result.iterations <= len(dag.node_names) + 1
+
+
+class TestCapacityConstraint:
+    def test_no_merge_when_group_exceeds_every_node(self):
+        dag = weighted_chain(2)
+        dag.node("f0").scale = 3
+        dag.node("f1").scale = 3
+        # Each worker holds at most 4 instances -> 6 never fits.
+        config = make_config(capacity=4)
+        result = try_group(dag, config)
+        assert len(result.groups) == 2
+
+    def test_unplaceable_function_raises(self):
+        dag = weighted_chain(1)
+        dag.node("f0").scale = 50
+        with pytest.raises(GroupingError):
+            group_functions(dag, make_config(capacity=10))
+
+    def test_capacity_respected_after_grouping(self):
+        dag = weighted_chain(6)
+        for node in dag.nodes:
+            node.scale = 2
+        config = make_config(capacity=5)
+        result = try_group(dag, config)
+        load = {}
+        for group, worker in zip(result.groups, result.group_worker):
+            load.setdefault(worker, 0.0)
+            load[worker] += sum(
+                dag.node(f).effective_instances for f in group
+            )
+        assert all(v <= 5 for v in load.values())
+
+
+class TestQuotaConstraint:
+    def test_zero_quota_blocks_localization_but_not_merge(self):
+        """With no quota, Algorithm 1's line 14 rejects DB->MEM flips;
+        merging the edge is skipped entirely."""
+        dag = weighted_chain(2)
+        result = group_functions(dag, make_config(quota=0))
+        assert len(result.groups) == 2
+        assert result.storage_type["f0"] == "DB"
+        assert result.mem_consume == 0
+
+    def test_quota_limits_number_of_localized_edges(self):
+        dag = weighted_chain(4, data=10 * MB)
+        # Room for exactly two localized edges.
+        result = group_functions(dag, make_config(quota=20 * MB))
+        assert result.mem_consume <= 20 * MB
+        assert len(result.localized_functions) == 2
+
+
+class TestContentionConstraint:
+    def test_contention_pair_never_co_grouped(self):
+        dag = weighted_chain(3)
+        config = make_config(
+            contention_pairs=frozenset([frozenset(["f0", "f1"])])
+        )
+        result = try_group(dag, config)
+        assert result.group_of("f0") != result.group_of("f1")
+
+    def test_indirect_contention_blocks_merge(self):
+        """Merging two groups that would join a conflicting pair fails."""
+        dag = weighted_chain(3, weight=1.0)
+        dag.edge("f0", "f1").weight = 10.0
+        dag.edge("f1", "f2").weight = 5.0
+        config = make_config(
+            contention_pairs=frozenset([frozenset(["f0", "f2"])])
+        )
+        result = try_group(dag, config)
+        groups = [result.group_of(f) for f in ("f0", "f1", "f2")]
+        # f0 and f2 must be apart even though both edges are heavy.
+        assert result.group_of("f0") != result.group_of("f2")
+
+
+class TestValidation:
+    def test_empty_workers_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupingConfig(workers=[], node_capacity={}, quota=0)
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupingConfig(workers=["w0"], node_capacity={}, quota=0)
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupingConfig(
+                workers=["w0"], node_capacity={"w0": 1}, quota=-1
+            )
+
+
+@st.composite
+def grouping_case(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    dag = WorkflowDAG("random")
+    for i in range(n):
+        dag.add_function(
+            f"f{i}",
+            service_time=draw(st.floats(min_value=0.01, max_value=1.0)),
+            output_size=draw(st.floats(min_value=0, max_value=8 * MB)),
+            scale=draw(st.floats(min_value=1, max_value=3)),
+        )
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                dag.add_edge(
+                    f"f{i}",
+                    f"f{j}",
+                    data_size=dag.node(f"f{i}").output_size,
+                    weight=draw(st.floats(min_value=0, max_value=2.0)),
+                )
+    workers = [f"w{k}" for k in range(draw(st.integers(2, 4)))]
+    capacity = draw(st.integers(min_value=8, max_value=40))
+    quota = draw(st.floats(min_value=0, max_value=64 * MB))
+    config = GroupingConfig(
+        workers=workers,
+        node_capacity={w: float(capacity) for w in workers},
+        quota=quota,
+        seed=draw(st.integers(0, 1000)),
+    )
+    return dag, config
+
+
+def try_group(dag, config):
+    """Run grouping; skip hypothesis examples that are truly infeasible
+    (total instance demand too close to total capacity for any greedy
+    packing to place)."""
+    try:
+        return group_functions(dag, config)
+    except GroupingError:
+        assume(False)
+
+
+class TestGroupingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(grouping_case())
+    def test_partition_is_exact(self, case):
+        """Every function in exactly one group."""
+        dag, config = case
+        result = try_group(dag, config)
+        seen = [f for group in result.groups for f in group]
+        assert sorted(seen) == sorted(dag.node_names)
+
+    @settings(max_examples=60, deadline=None)
+    @given(grouping_case())
+    def test_capacity_never_violated(self, case):
+        dag, config = case
+        result = try_group(dag, config)
+        load = {w: 0.0 for w in config.workers}
+        for group, worker in zip(result.groups, result.group_worker):
+            load[worker] += sum(
+                dag.node(f).effective_instances for f in group
+            )
+        for worker, used in load.items():
+            assert used <= config.node_capacity[worker] + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(grouping_case())
+    def test_quota_never_exceeded(self, case):
+        dag, config = case
+        result = try_group(dag, config)
+        assert result.mem_consume <= config.quota + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(grouping_case())
+    def test_placement_matches_groups(self, case):
+        dag, config = case
+        result = try_group(dag, config)
+        for group, worker in zip(result.groups, result.group_worker):
+            for function in group:
+                assert result.placement.node_of(function) == worker
+
+    @settings(max_examples=60, deadline=None)
+    @given(grouping_case())
+    def test_deterministic(self, case):
+        dag, config = case
+        first = try_group(dag, config)
+        second = try_group(dag, config)
+        assert first.groups == second.groups
+        assert first.group_worker == second.group_worker

@@ -1,0 +1,135 @@
+"""Unit tests for the MasterSP baseline (HyperFlow-serverless)."""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    HyperFlowServerlessSystem,
+    static_critical_exec,
+)
+from repro.dag import FunctionNode, WorkflowDAG
+from repro.metrics import InvocationStatus
+
+from .conftest import MB, all_on, fanout_dag, linear_dag, round_robin
+
+
+def make_system(cluster, **config_kwargs):
+    config_kwargs.setdefault("ship_data", False)
+    return HyperFlowServerlessSystem(cluster, EngineConfig(**config_kwargs))
+
+
+class TestStaticCriticalExec:
+    def test_ignores_edge_weights(self):
+        dag = linear_dag(n=3, service_time=0.1)
+        for edge in dag.edges:
+            edge.weight = 99.0
+        assert static_critical_exec(dag) == pytest.approx(0.3)
+
+    def test_parallel_branches_counted_once(self):
+        dag = fanout_dag(branches=3)
+        # head 0.05 + branch 0.1 + tail 0.05.
+        assert static_critical_exec(dag) == pytest.approx(0.2)
+
+
+class TestInvocation:
+    def test_all_functions_execute(self, env, cluster):
+        system = make_system(cluster)
+        dag = linear_dag(n=3)
+        system.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(system.invoke("lin")))
+        assert record.status == InvocationStatus.OK
+        assert record.latency > 0
+        assert record.cold_starts == 3
+
+    def test_latency_exceeds_critical_exec(self, env, cluster):
+        system = make_system(cluster)
+        dag = linear_dag(n=3)
+        system.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(system.invoke("lin")))
+        assert record.latency > record.critical_path_exec
+        assert record.scheduling_overhead > 0
+
+    def test_two_assign_and_result_messages_per_function(self, env, cluster):
+        system = make_system(cluster)
+        dag = linear_dag(n=4)
+        system.register(dag, round_robin(dag, cluster.worker_names()))
+        env.run(until=env.process(system.invoke("lin")))
+        assert system.messages_sent == 2 * 4
+
+    def test_virtual_nodes_skip_network(self, env, cluster):
+        system = make_system(cluster)
+        dag = WorkflowDAG("v")
+        dag.add_function("a", service_time=0.05)
+        dag.add_node(FunctionNode(name="mid", is_virtual=True, service_time=0))
+        dag.add_function("b", service_time=0.05)
+        dag.add_edge("a", "mid")
+        dag.add_edge("mid", "b")
+        system.register(dag, all_on(dag, "worker-1"))
+        record = env.run(until=env.process(system.invoke("v")))
+        assert record.status == InvocationStatus.OK
+        assert system.messages_sent == 4  # only a and b touch the network
+
+    def test_parallel_branches_overlap(self, env, cluster):
+        system = make_system(cluster)
+        dag = fanout_dag(branches=4)
+        system.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(system.invoke("fan")))
+        # If branches serialized, latency would exceed 4 * 0.1 + 0.1.
+        assert record.latency < 0.5 + 0.2 + 0.3
+
+    def test_warm_second_invocation_is_faster(self, env, cluster):
+        system = make_system(cluster)
+        dag = linear_dag(n=3)
+        system.register(dag, all_on(dag, "worker-0"))
+        first = env.run(until=env.process(system.invoke("lin")))
+        second = env.run(until=env.process(system.invoke("lin")))
+        assert second.latency < first.latency
+        assert second.cold_starts == 0
+
+    def test_master_engine_serializes_under_fanout(self, env, cluster):
+        """Wide fan-out pays per-function master processing serially."""
+        wide = make_system(cluster, master_process_time=0.01)
+        dag = fanout_dag(branches=8)
+        wide.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(wide.invoke("fan")))
+        # 8 branches x 2 engine steps x 10 ms serialized = 160 ms floor
+        # beyond execution time.
+        assert record.scheduling_overhead > 0.16
+
+    def test_unregistered_workflow_rejected(self, env, cluster):
+        system = make_system(cluster)
+        with pytest.raises(KeyError):
+            next(system.invoke("ghost"))
+
+
+class TestTimeout:
+    def test_slow_workflow_times_out(self, env, cluster):
+        system = make_system(cluster, execution_timeout=0.5)
+        dag = linear_dag(n=2, service_time=2.0)
+        system.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(system.invoke("lin")))
+        assert record.status == InvocationStatus.TIMEOUT
+        assert record.latency == pytest.approx(0.5)
+
+
+class TestMetricsIntegration:
+    def test_invocations_recorded(self, env, cluster):
+        system = make_system(cluster)
+        dag = linear_dag()
+        system.register(dag, all_on(dag, "worker-0"))
+        for _ in range(3):
+            env.run(until=env.process(system.invoke("lin")))
+        assert len(system.metrics.invocations_of("lin")) == 3
+        assert system.metrics.mean_scheduling_overhead("lin") > 0
+
+    def test_data_shipping_records_transfers(self, env, cluster):
+        system = HyperFlowServerlessSystem(
+            cluster, EngineConfig(ship_data=True)
+        )
+        dag = linear_dag(output_size=2 * MB)
+        system.register(dag, all_on(dag, "worker-0"))
+        record = env.run(until=env.process(system.invoke("lin")))
+        moved = system.metrics.data_moved("lin", record.invocation_id)
+        # f0 and f1 outputs are put once and fetched once each; f2's
+        # output is put but never fetched: 2 MB * 5 ops.
+        assert moved == pytest.approx(10 * MB)

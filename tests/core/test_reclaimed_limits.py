@@ -1,0 +1,151 @@
+"""Tests for reclaimed container limits and the MicroVM sandbox mode."""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    GraphScheduler,
+    Placement,
+    ReclamationConfig,
+)
+from repro.clients import run_closed_loop
+from repro.dag import WorkflowDAG
+from repro.sim import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    SimulationError,
+)
+
+MB = 1024.0 * 1024.0
+
+
+def lean_dag(name="lean", memory=64 * MB):
+    dag = WorkflowDAG(name)
+    dag.add_function("f", service_time=0.05, memory=memory, output_size=0)
+    return dag
+
+
+class TestContainerLimitsComputation:
+    def test_limits_equal_s_plus_mu(self, cluster):
+        scheduler = GraphScheduler(
+            cluster,
+            reclamation=ReclamationConfig(
+                container_memory=256 * MB, mu=32 * MB
+            ),
+        )
+        dag = lean_dag(memory=64 * MB)
+        limits = scheduler.container_limits(dag)
+        # 256 - (256 - 64 - 32) = 96 MB = S + mu.
+        assert limits["f"] == pytest.approx(96 * MB)
+
+    def test_no_surplus_means_no_entry(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = lean_dag(memory=240 * MB)
+        assert scheduler.container_limits(dag) == {}
+
+    def test_mapped_function_per_instance_limit(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = WorkflowDAG("m")
+        dag.add_function("mapped", memory=64 * MB, map_factor=4)
+        limits = scheduler.container_limits(dag)
+        # O(v) is per-workflow (x4); per container the shrink is /4.
+        assert limits["mapped"] == pytest.approx(96 * MB)
+
+
+class TestDeployWithLimits:
+    def test_containers_created_shrunk(self, env, cluster):
+        system = FaaSFlowSystem(cluster, EngineConfig(ship_data=False))
+        dag = lean_dag(memory=64 * MB)
+        placement = Placement(workflow="lean", assignment={"f": "worker-0"})
+        system.deploy(dag, placement, container_limits={"f": 96 * MB})
+        run_closed_loop(system, "lean", 1)
+        pool = cluster.node("worker-0").containers
+        container = pool._idle["f"][0]
+        assert container.memory_limit == pytest.approx(96 * MB)
+        assert pool.memory.reserved_by_tag("container") == pytest.approx(
+            96 * MB
+        )
+
+    def test_pool_plus_shrunk_containers_fit_exactly(self, env):
+        """Reclamation adds no pressure: pool + shrunken container ==
+        one full container."""
+        env2 = Environment()
+        cluster = Cluster(
+            env2,
+            ClusterConfig(
+                workers=1,
+                container=ContainerSpec(cold_start_time=0.01),
+            ),
+        )
+        worker = cluster.workers[0]
+        worker.set_faastore_quota(160 * MB, workflow="lean")
+        worker.containers.set_function_limit("f", 96 * MB)
+        env2.run(until=worker.containers.acquire("f"))
+        total = worker.memory.reserved
+        assert total == pytest.approx(256 * MB)
+
+    def test_admission_uses_shrunk_limit(self, env):
+        env2 = Environment()
+        from repro.sim import NodeConfig
+
+        cluster = Cluster(
+            env2,
+            ClusterConfig(
+                workers=1,
+                worker=NodeConfig(cores=8, memory=256 * MB),
+                container=ContainerSpec(cold_start_time=0.01),
+            ),
+        )
+        pool = cluster.workers[0].containers
+        pool.set_function_limit("small", 64 * MB)
+        acquisitions = [pool.acquire("small") for _ in range(4)]
+        env2.run(until=env2.now + 1.0)
+        # Four 64 MB containers fit where only one 256 MB would.
+        assert all(a.processed for a in acquisitions)
+
+    def test_limit_validation(self, cluster):
+        pool = cluster.node("worker-0").containers
+        with pytest.raises(SimulationError):
+            pool.set_function_limit("f", 0)
+        with pytest.raises(SimulationError):
+            pool.set_function_limit("f", 10_000 * MB)
+
+
+class TestMicroVMSandbox:
+    def make_microvm_pool(self):
+        env = Environment()
+        cluster = Cluster(
+            env,
+            ClusterConfig(
+                workers=1,
+                container=ContainerSpec(
+                    cold_start_time=0.01, sandbox="microvm"
+                ),
+            ),
+        )
+        return env, cluster.workers[0].containers
+
+    def test_function_limits_rejected(self):
+        _, pool = self.make_microvm_pool()
+        with pytest.raises(SimulationError):
+            pool.set_function_limit("f", 96 * MB)
+
+    def test_memory_limit_update_rejected(self):
+        env, pool = self.make_microvm_pool()
+        container = env.run(until=pool.acquire("f"))
+        with pytest.raises(SimulationError):
+            container.set_memory_limit(96 * MB)
+
+    def test_execution_still_works(self):
+        env, pool = self.make_microvm_pool()
+        container = env.run(until=pool.acquire("f"))
+        pool.release(container)
+        again = env.run(until=pool.acquire("f"))
+        assert again is container
+
+    def test_invalid_sandbox_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            ContainerSpec(sandbox="unikernel")

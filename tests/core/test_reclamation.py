@@ -1,0 +1,161 @@
+"""Unit and property tests for Eq. 1-2 memory reclamation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MemoryUsageHistory,
+    Placement,
+    ReclamationConfig,
+    over_provisioned,
+    per_node_quotas,
+    workflow_quota,
+)
+from repro.dag import FunctionNode, WorkflowDAG
+
+from .conftest import all_on
+
+MB = 1024.0 * 1024.0
+
+
+def dag_with(*nodes):
+    dag = WorkflowDAG("w")
+    for node in nodes:
+        dag.add_node(node)
+    return dag
+
+
+class TestEquationOne:
+    def test_basic_surplus(self):
+        dag = dag_with(FunctionNode(name="f", memory=64 * MB))
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        # 256 - 64 - 32 = 160 MB.
+        assert over_provisioned(dag, "f", config) == pytest.approx(160 * MB)
+
+    def test_never_negative(self):
+        dag = dag_with(FunctionNode(name="f", memory=250 * MB))
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        assert over_provisioned(dag, "f", config) == 0.0
+
+    def test_map_factor_multiplies(self):
+        dag = dag_with(FunctionNode(name="f", memory=64 * MB, map_factor=4.0))
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        assert over_provisioned(dag, "f", config) == pytest.approx(640 * MB)
+
+    def test_virtual_nodes_contribute_nothing(self):
+        dag = dag_with(FunctionNode(name="v", is_virtual=True, memory=0))
+        config = ReclamationConfig()
+        assert over_provisioned(dag, "v", config) == 0.0
+
+    def test_history_overrides_declared(self):
+        dag = dag_with(FunctionNode(name="f", memory=200 * MB))
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        history = MemoryUsageHistory()
+        history.observe("f", 40 * MB)
+        # Runtime shows only 40 MB used: 256 - 40 - 32 = 184 MB.
+        assert over_provisioned(dag, "f", config, history) == pytest.approx(
+            184 * MB
+        )
+
+    def test_history_keeps_high_water_mark(self):
+        history = MemoryUsageHistory()
+        history.observe("f", 100 * MB)
+        history.observe("f", 50 * MB)
+        assert history.peak("f", default=0) == pytest.approx(100 * MB)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryUsageHistory().observe("f", -1)
+
+
+class TestEquationTwo:
+    def test_quota_sums_nodes(self):
+        dag = dag_with(
+            FunctionNode(name="a", memory=64 * MB),
+            FunctionNode(name="b", memory=128 * MB),
+            FunctionNode(name="v", is_virtual=True, memory=0),
+        )
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        # (256-64-32) + (256-128-32) = 160 + 96 = 256 MB.
+        assert workflow_quota(dag, config) == pytest.approx(256 * MB)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReclamationConfig(container_memory=0)
+        with pytest.raises(ValueError):
+            ReclamationConfig(mu=-1)
+
+
+class TestPerNodeQuotas:
+    def test_split_by_placement(self):
+        dag = dag_with(
+            FunctionNode(name="a", memory=64 * MB),
+            FunctionNode(name="b", memory=64 * MB),
+        )
+        placement = Placement(
+            workflow="w", assignment={"a": "w0", "b": "w1"}
+        )
+        config = ReclamationConfig(container_memory=256 * MB, mu=32 * MB)
+        quotas = per_node_quotas(dag, placement, config)
+        assert quotas == {
+            "w0": pytest.approx(160 * MB),
+            "w1": pytest.approx(160 * MB),
+        }
+
+    def test_quotas_sum_to_workflow_quota(self):
+        dag = dag_with(
+            FunctionNode(name="a", memory=30 * MB),
+            FunctionNode(name="b", memory=90 * MB, map_factor=3),
+            FunctionNode(name="c", memory=250 * MB),
+        )
+        placement = Placement(
+            workflow="w", assignment={"a": "w0", "b": "w0", "c": "w1"}
+        )
+        config = ReclamationConfig()
+        quotas = per_node_quotas(dag, placement, config)
+        assert sum(quotas.values()) == pytest.approx(
+            workflow_quota(dag, config)
+        )
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        memory=st.floats(min_value=0, max_value=300 * MB),
+        mu=st.floats(min_value=0, max_value=64 * MB),
+        map_factor=st.floats(min_value=1, max_value=16),
+    )
+    def test_reclaimed_plus_used_never_exceeds_container(
+        self, memory, mu, map_factor
+    ):
+        """Invariant: per instance, reclaimed + working set <= Mem(v)."""
+        dag = dag_with(
+            FunctionNode(name="f", memory=memory, map_factor=map_factor)
+        )
+        config = ReclamationConfig(container_memory=256 * MB, mu=mu)
+        per_instance = over_provisioned(dag, "f", config) / max(map_factor, 1)
+        assert per_instance <= max(256 * MB - memory, 0.0) + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        peaks=st.lists(
+            st.floats(min_value=0, max_value=256 * MB), min_size=1, max_size=8
+        )
+    )
+    def test_quota_monotone_in_observed_usage(self, peaks):
+        """Lower observed memory use can only grow the quota."""
+        dag = WorkflowDAG("w")
+        for i in range(len(peaks)):
+            dag.add_function(f"f{i}", memory=256 * MB)
+        config = ReclamationConfig()
+        history = MemoryUsageHistory()
+        for i, peak in enumerate(peaks):
+            history.observe(f"f{i}", peak)
+        quota = workflow_quota(dag, config, history)
+        assert quota >= 0
+        # Observing even lower usage can only increase the quota.
+        history2 = MemoryUsageHistory()
+        for i, peak in enumerate(peaks):
+            history2.observe(f"f{i}", peak / 2)
+        assert workflow_quota(dag, config, history2) >= quota

@@ -1,0 +1,210 @@
+"""Unit tests for the function runtime (containers + data + execution)."""
+
+import pytest
+
+from repro.core import EngineConfig, FunctionRuntime, RemoteStorePolicy
+from repro.dag import WorkflowDAG
+from repro.metrics import MetricsCollector
+
+from .conftest import MB, all_on, linear_dag
+
+
+def make_runtime(cluster, **config_kwargs):
+    metrics = MetricsCollector()
+    policy = RemoteStorePolicy(cluster, metrics)
+    runtime = FunctionRuntime(cluster, EngineConfig(**config_kwargs), policy)
+    return runtime, metrics
+
+
+class TestBasicExecution:
+    def test_execution_takes_service_time_plus_cold_start(self, env, cluster):
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        dag = linear_dag(service_time=0.2)
+        placement = all_on(dag, "worker-0")
+        result = env.run(
+            until=env.process(runtime.execute(dag, placement, 1, "f0"))
+        )
+        assert result.cold_starts == 1
+        # 0.1 cold start (fixture spec) + 0.2 service time.
+        assert result.duration == pytest.approx(0.3, rel=1e-6)
+
+    def test_warm_execution_skips_cold_start(self, env, cluster):
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        dag = linear_dag(service_time=0.2)
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "f0")))
+        result = env.run(
+            until=env.process(runtime.execute(dag, placement, 2, "f0"))
+        )
+        assert result.cold_starts == 0
+        assert result.duration == pytest.approx(0.2, rel=1e-6)
+
+    def test_virtual_node_rejected(self, env, cluster):
+        runtime, _ = make_runtime(cluster)
+        dag = WorkflowDAG("w")
+        dag.add_function("v", is_virtual=True, service_time=0)
+        placement = all_on(dag, "worker-0")
+        with pytest.raises(ValueError):
+            next(runtime.execute(dag, placement, 1, "v"))
+
+    def test_memory_use_noted_for_reclamation(self, env, cluster):
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        dag = linear_dag()
+        dag.node("f0").memory = 48 * MB
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "f0")))
+        pool = cluster.node("worker-0").containers
+        container = pool._idle["f0"][0]
+        assert container.peak_memory_used == pytest.approx(48 * MB)
+
+
+class TestDataPlane:
+    def test_inputs_fetched_and_outputs_stored(self, env, cluster):
+        runtime, metrics = make_runtime(cluster)
+        dag = linear_dag(output_size=1 * MB)
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "f0")))
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "f1")))
+        phases = [(t.phase, t.producer) for t in metrics.transfers]
+        assert ("put", "f0") in phases
+        assert ("get", "f0") in phases
+
+    def test_ship_data_false_skips_storage(self, env, cluster):
+        runtime, metrics = make_runtime(cluster, ship_data=False)
+        dag = linear_dag(output_size=5 * MB)
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "f0")))
+        assert metrics.transfers == []
+
+
+class TestForeachScaling:
+    def make_mapped_dag(self, items=4):
+        dag = WorkflowDAG("fe")
+        dag.add_function("src", service_time=0.05, output_size=4 * MB)
+        dag.add_function(
+            "mapped",
+            service_time=0.2,
+            output_size=8 * MB,
+            map_factor=items,
+        )
+        dag.add_edge("src", "mapped", data_size=4 * MB)
+        return dag
+
+    def test_instances_run_in_parallel(self, env, cluster):
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        dag = self.make_mapped_dag(items=4)
+        placement = all_on(dag, "worker-0")
+        result = env.run(
+            until=env.process(runtime.execute(dag, placement, 1, "mapped"))
+        )
+        assert result.instances == 4
+        assert result.cold_starts == 4
+        # Parallel: cold start + service, not 4x service.
+        assert result.duration == pytest.approx(0.3, rel=1e-6)
+
+    def test_instances_bounded_by_cores(self, env, cluster):
+        """More instances than cores: executions serialize on the CPU."""
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        dag = self.make_mapped_dag(items=16)  # fixture nodes have 8 cores
+        placement = all_on(dag, "worker-0")
+        result = env.run(
+            until=env.process(runtime.execute(dag, placement, 1, "mapped"))
+        )
+        # Two CPU waves of 0.2 s each (10-container limit gates slightly
+        # differently, but never less than 2 waves).
+        assert result.duration >= 0.4
+
+    def test_chunked_output_one_per_instance(self, env, cluster):
+        runtime, metrics = make_runtime(cluster)
+        dag = self.make_mapped_dag(items=4)
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "src")))
+        env.run(
+            until=env.process(runtime.execute(dag, placement, 1, "mapped"))
+        )
+        puts = [t for t in metrics.transfers if t.phase == "put" and t.producer == "mapped"]
+        assert len(puts) == 4
+        assert sum(p.size for p in puts) == pytest.approx(8 * MB)
+
+    def test_mapped_consumer_fetches_each_chunk_once(self, env, cluster):
+        runtime, metrics = make_runtime(cluster)
+        dag = self.make_mapped_dag(items=4)
+        placement = all_on(dag, "worker-0")
+        env.run(until=env.process(runtime.execute(dag, placement, 1, "src")))
+        env.run(
+            until=env.process(runtime.execute(dag, placement, 1, "mapped"))
+        )
+        gets = [t for t in metrics.transfers if t.phase == "get"]
+        # src produced one chunk; the 4 mapped instances split it: the
+        # chunk is fetched exactly once overall.
+        assert len(gets) == 1
+        assert sum(g.size for g in gets) == pytest.approx(4 * MB)
+
+
+class TestCPUContention:
+    def test_two_functions_share_cores(self, env, cluster):
+        """With 1-core nodes, two concurrent executions serialize."""
+        from repro.sim import Cluster, ClusterConfig, ContainerSpec, NodeConfig
+        from repro.sim import Environment
+
+        env2 = Environment()
+        small = Cluster(
+            env2,
+            ClusterConfig(
+                workers=1,
+                worker=NodeConfig(cores=1, memory=2 * 1024 * MB),
+                container=ContainerSpec(cold_start_time=0.0),
+            ),
+        )
+        runtime, _ = make_runtime(small, ship_data=False)
+        dag = linear_dag(service_time=0.5)
+        placement = all_on(dag, "worker-0")
+        p1 = env2.process(runtime.execute(dag, placement, 1, "f0"))
+        p2 = env2.process(runtime.execute(dag, placement, 1, "f1"))
+        env2.run(until=env2.all_of([p1, p2]))
+        assert env2.now == pytest.approx(1.0, rel=1e-6)
+
+
+class TestServiceTimeJitter:
+    def test_zero_jitter_is_deterministic(self, env, cluster):
+        runtime, _ = make_runtime(cluster, ship_data=False)
+        assert runtime._service_time(0.5) == 0.5
+
+    def test_jitter_varies_but_preserves_mean(self, env, cluster):
+        runtime, _ = make_runtime(
+            cluster, ship_data=False, service_time_jitter=0.3
+        )
+        samples = [runtime._service_time(1.0) for _ in range(3000)]
+        assert min(samples) < max(samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(1.0, rel=0.05)
+
+    def test_jitter_is_seeded(self, env, cluster):
+        a, _ = make_runtime(
+            cluster, ship_data=False, service_time_jitter=0.3, jitter_seed=5
+        )
+        b, _ = make_runtime(
+            cluster, ship_data=False, service_time_jitter=0.3, jitter_seed=5
+        )
+        assert [a._service_time(1.0) for _ in range(10)] == [
+            b._service_time(1.0) for _ in range(10)
+        ]
+
+    def test_jitter_affects_execution_duration(self, env, cluster):
+        from repro.dag import WorkflowDAG
+        from .conftest import all_on, linear_dag
+
+        runtime, _ = make_runtime(
+            cluster, ship_data=False, service_time_jitter=0.5, jitter_seed=3
+        )
+        dag = linear_dag(service_time=0.2)
+        placement = all_on(dag, "worker-0")
+        r1 = env.run(until=env.process(runtime.execute(dag, placement, 1, "f0")))
+        r2 = env.run(until=env.process(runtime.execute(dag, placement, 2, "f0")))
+        assert r1.duration != r2.duration
+
+    def test_negative_jitter_rejected(self):
+        from repro.core import EngineConfig
+
+        with pytest.raises(ValueError):
+            EngineConfig(service_time_jitter=-0.1)

@@ -1,0 +1,214 @@
+"""Unit tests for the Graph Scheduler (partitioning + feedback)."""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    GraphScheduler,
+    hash_partition,
+    update_edge_weights,
+)
+from repro.metrics import MetricsCollector, TransferEvent
+from repro.wdl import parse_workflow
+
+from .conftest import MB, linear_dag
+
+
+class TestHashPartition:
+    def test_every_function_placed(self):
+        dag = linear_dag(n=5)
+        placement = hash_partition(dag, ["w0", "w1"])
+        placement.validate_against(dag)
+
+    def test_deterministic(self):
+        dag = linear_dag(n=5)
+        p1 = hash_partition(dag, ["w0", "w1"])
+        p2 = hash_partition(dag, ["w0", "w1"])
+        assert p1.assignment == p2.assignment
+
+    def test_spreads_across_workers(self):
+        dag = linear_dag(n=6)
+        placement = hash_partition(dag, ["w0", "w1", "w2"])
+        assert len(placement.workers()) == 3
+
+    def test_empty_workers_rejected(self):
+        with pytest.raises(ValueError):
+            hash_partition(linear_dag(), [])
+
+
+class TestScheduleIterations:
+    def test_first_iteration_is_hash_based(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=5)
+        placement, quotas, report = scheduler.schedule(dag)
+        assert report.iteration == 1
+        assert report.grouping is None
+        assert len(placement.workers()) > 1  # hash spreads a 5-chain
+
+    def test_second_iteration_runs_grouping(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=5)
+        for edge in dag.edges:
+            edge.weight = 0.5  # measured transmission latency
+        scheduler.schedule(dag)
+        placement, quotas, report = scheduler.schedule(dag)
+        assert report.iteration == 2
+        assert report.grouping is not None
+        # All edges merge on an idle cluster: a chain lands on one node.
+        assert len(placement.workers()) == 1
+
+    def test_weightless_edges_are_not_grouped(self, cluster):
+        """No measured transmission cost -> nothing to merge for."""
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=5)  # all edge weights zero
+        _, _, report = scheduler.schedule(dag, force_grouping=True)
+        assert len(report.grouping.groups) == 5
+
+    def test_force_grouping_skips_bootstrap(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=4)
+        _, _, report = scheduler.schedule(dag, force_grouping=True)
+        assert report.grouping is not None
+
+    def test_reports_accumulate_with_costs(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=4)
+        scheduler.schedule(dag)
+        scheduler.schedule(dag)
+        assert len(scheduler.reports) == 2
+        assert all(r.wall_time >= 0 for r in scheduler.reports)
+        assert scheduler.reports[1].memory_peak > 0
+
+    def test_quotas_follow_placement(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=3)
+        placement, quotas, _ = scheduler.schedule(dag, force_grouping=True)
+        assert set(quotas) <= set(cluster.worker_names())
+        assert all(q >= 0 for q in quotas.values())
+
+    def test_apply_quotas_pins_pools(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=3)
+        _, quotas, _ = scheduler.schedule(dag, force_grouping=True)
+        scheduler.apply_quotas(quotas)
+        for worker in cluster.workers:
+            assert worker.memstore.quota == pytest.approx(
+                quotas.get(worker.name, 0.0)
+            )
+
+
+class TestContentionDeclaration:
+    def test_declared_pairs_respected(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        scheduler.declare_contention([("f0", "f1")])
+        dag = linear_dag(n=3)
+        placement, _, report = scheduler.schedule(dag, force_grouping=True)
+        g = report.grouping
+        assert g.group_of("f0") != g.group_of("f1")
+
+
+class TestFeedback:
+    def test_edge_weights_updated_from_measurements(self):
+        dag = linear_dag(n=2, output_size=1 * MB)
+        metrics = MetricsCollector()
+        for duration in (0.5, 0.6, 0.7):
+            metrics.record_transfer(
+                TransferEvent(
+                    workflow="lin", invocation_id=1, producer="f0",
+                    consumer="f1", size=1 * MB, duration=duration,
+                    phase="get", local=False,
+                )
+            )
+        update_edge_weights(dag, metrics)
+        weight = dag.edge("f0", "f1").weight
+        assert weight == pytest.approx(0.698, rel=1e-2)  # p99 of gets
+
+    def test_put_latency_added_to_weight(self):
+        dag = linear_dag(n=2, output_size=1 * MB)
+        metrics = MetricsCollector()
+        metrics.record_transfer(
+            TransferEvent("lin", 1, "f0", "f1", 1 * MB, 0.5, "get", False)
+        )
+        metrics.record_transfer(
+            TransferEvent("lin", 1, "f0", "", 1 * MB, 0.3, "put", False)
+        )
+        update_edge_weights(dag, metrics)
+        assert dag.edge("f0", "f1").weight == pytest.approx(0.8)
+
+    def test_weights_map_through_virtual_nodes(self):
+        dag = parse_workflow(
+            """
+name: par
+steps:
+  - task: head
+    output_size: 1MB
+  - parallel: p
+    branches:
+      - - task: a
+      - - task: b
+"""
+        )
+        metrics = MetricsCollector()
+        metrics.record_transfer(
+            TransferEvent("par", 1, "head", "a", 1 * MB, 0.9, "get", False)
+        )
+        update_edge_weights(dag, metrics)
+        assert dag.edge("head", "p.start").weight == pytest.approx(0.9)
+        assert dag.edge("p.start", "a").weight == pytest.approx(0.9)
+        assert dag.edge("p.start", "b").weight == 0.0
+
+    def test_foreign_workflow_measurements_ignored(self):
+        dag = linear_dag(n=2)
+        metrics = MetricsCollector()
+        metrics.record_transfer(
+            TransferEvent("other", 1, "f0", "f1", 1 * MB, 0.5, "get", False)
+        )
+        update_edge_weights(dag, metrics)
+        assert dag.edge("f0", "f1").weight == 0.0
+
+    def test_scale_feedback_applied(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=2)
+        scheduler.observe_scale("f0", 3.0)
+        scheduler.absorb_feedback(dag, MetricsCollector())
+        assert dag.node("f0").scale == 3.0
+
+    def test_negative_scale_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            GraphScheduler(cluster).observe_scale("f", -1)
+
+    def test_memory_observation_grows_quota(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = linear_dag(n=2)
+        for node in dag.nodes:
+            node.memory = 200 * MB
+        _, before, _ = scheduler.schedule(dag, force_grouping=True)
+        scheduler.observe_memory("f0", 20 * MB)
+        scheduler.observe_memory("f1", 20 * MB)
+        _, after, _ = scheduler.schedule(dag)
+        assert sum(after.values()) > sum(before.values())
+
+
+class TestEndToEndIteration:
+    def test_feedback_loop_localizes_heavy_chain(self, env, cluster):
+        """hash partition -> run -> feedback -> grouped partition
+        localizes the chain and cuts transfer latency."""
+        dag = linear_dag(n=4, output_size=8 * MB)
+        scheduler = GraphScheduler(cluster)
+        system = FaaSFlowSystem(cluster, EngineConfig(ship_data=True))
+        placement, quotas, _ = scheduler.schedule(dag)
+        system.deploy(dag, placement, quotas=quotas)
+        env.run(until=env.process(system.invoke("lin")))
+        baseline = system.metrics.transfer_latency(
+            "lin", system.metrics.invocations[-1].invocation_id
+        )
+        scheduler.absorb_feedback(dag, system.metrics)
+        placement2, quotas2, report = scheduler.schedule(dag)
+        system.deploy(dag, placement2, quotas=quotas2)
+        env.run(until=env.process(system.invoke("lin")))
+        improved = system.metrics.transfer_latency(
+            "lin", system.metrics.invocations[-1].invocation_id
+        )
+        assert report.grouping is not None
+        assert improved < baseline / 5

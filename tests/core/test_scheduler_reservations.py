@@ -1,0 +1,106 @@
+"""Tests for cross-workflow capacity reservations in the scheduler."""
+
+import pytest
+
+from repro.core import GraphScheduler
+from repro.dag import WorkflowDAG, estimate_edge_weights
+from repro.sim import MB
+
+
+def heavy_dag(name, functions=12, scale=1.0):
+    dag = WorkflowDAG(name)
+    previous = None
+    for i in range(functions):
+        dag.add_function(
+            f"{name}-f{i}",
+            service_time=0.1,
+            output_size=1 * MB,
+            scale=scale,
+        )
+        if previous:
+            dag.add_edge(previous, f"{name}-f{i}", data_size=1 * MB, weight=0.5)
+        previous = f"{name}-f{i}"
+    return dag
+
+
+class TestReservations:
+    def test_first_workflow_sees_full_capacity(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        capacities = scheduler.worker_capacities()
+        assert all(c > 100 for c in capacities.values())
+
+    def test_deployed_workflow_reserves_capacity(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = heavy_dag("a")
+        scheduler.schedule(dag, force_grouping=True)
+        before = scheduler.worker_capacities()
+        after = scheduler.worker_capacities(exclude="a")
+        # Excluding "a" gives back exactly its reservation.
+        total_diff = sum(after.values()) - sum(before.values())
+        assert total_diff == pytest.approx(len(dag.real_nodes()))
+
+    def test_rescheduling_replaces_own_reservation(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = heavy_dag("a")
+        scheduler.schedule(dag, force_grouping=True)
+        first_total = sum(scheduler.worker_capacities().values())
+        scheduler.schedule(dag, force_grouping=True)
+        second_total = sum(scheduler.worker_capacities().values())
+        # No double counting across iterations.
+        assert second_total == pytest.approx(first_total)
+
+    def test_scale_feedback_grows_reservation(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag = heavy_dag("a")
+        scheduler.schedule(dag, force_grouping=True)
+        lean_capacity = sum(scheduler.worker_capacities(exclude="b").values())
+        for node in dag.real_nodes():
+            scheduler.observe_scale(node.name, 3.0)
+        scheduler.absorb_feedback(dag, _empty_metrics())
+        scheduler.schedule(dag, force_grouping=True)
+        scaled_capacity = sum(
+            scheduler.worker_capacities(exclude="b").values()
+        )
+        assert scaled_capacity < lean_capacity
+
+    def test_two_workflows_pack_around_each_other(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        dag_a = heavy_dag("a")
+        dag_b = heavy_dag("b")
+        placement_a, _, _ = scheduler.schedule(dag_a, force_grouping=True)
+        placement_b, _, _ = scheduler.schedule(dag_b, force_grouping=True)
+        # With worst-fit balancing and reservations, the two workflows'
+        # primary workers differ.
+        from collections import Counter
+
+        top_a = Counter(placement_a.assignment.values()).most_common(1)[0][0]
+        top_b = Counter(placement_b.assignment.values()).most_common(1)[0][0]
+        assert top_a != top_b
+
+    def test_capacity_never_negative(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        for index in range(12):
+            dag = heavy_dag(f"wf{index}", functions=10)
+            scheduler.schedule(dag, force_grouping=True)
+        capacities = scheduler.worker_capacities()
+        assert all(c >= 0 for c in capacities.values())
+
+
+class TestGroupInstanceCap:
+    def test_cap_limits_group_size(self, cluster):
+        scheduler = GraphScheduler(cluster)
+        assert scheduler.max_group_instances() == pytest.approx(10.0)
+        dag = heavy_dag("big", functions=30)
+        estimate_edge_weights(dag, bandwidth=50 * MB)
+        _, _, report = scheduler.schedule(dag, force_grouping=True)
+        for group in report.grouping.groups:
+            instances = sum(
+                dag.node(f).effective_instances for f in group
+            )
+            assert instances <= scheduler.max_group_instances() + 1e-9
+
+
+def _empty_metrics():
+    from repro.metrics import MetricsCollector
+
+    return MetricsCollector()

@@ -1,0 +1,162 @@
+"""Unit and property tests for critical path and weight estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    DAGError,
+    WorkflowDAG,
+    critical_path,
+    estimate_edge_weights,
+    path_length,
+)
+
+MB = 1024.0 * 1024.0
+
+
+def chain(times):
+    dag = WorkflowDAG("chain")
+    prev = None
+    for i, t in enumerate(times):
+        dag.add_function(f"f{i}", service_time=t)
+        if prev is not None:
+            dag.add_edge(prev, f"f{i}")
+        prev = f"f{i}"
+    return dag
+
+
+class TestCriticalPath:
+    def test_single_node(self):
+        dag = chain([2.5])
+        cp = critical_path(dag)
+        assert cp.nodes == ("f0",)
+        assert cp.length == pytest.approx(2.5)
+
+    def test_chain_includes_all(self):
+        dag = chain([1.0, 2.0, 3.0])
+        cp = critical_path(dag)
+        assert cp.nodes == ("f0", "f1", "f2")
+        assert cp.length == pytest.approx(6.0)
+
+    def test_diamond_picks_heavier_branch(self):
+        dag = WorkflowDAG("d")
+        dag.add_function("a", service_time=1.0)
+        dag.add_function("slow", service_time=5.0)
+        dag.add_function("fast", service_time=1.0)
+        dag.add_function("z", service_time=1.0)
+        dag.add_edge("a", "slow")
+        dag.add_edge("a", "fast")
+        dag.add_edge("slow", "z")
+        dag.add_edge("fast", "z")
+        cp = critical_path(dag)
+        assert cp.nodes == ("a", "slow", "z")
+        assert cp.length == pytest.approx(7.0)
+
+    def test_edge_weights_count(self):
+        dag = WorkflowDAG("d")
+        dag.add_function("a", service_time=1.0)
+        dag.add_function("b", service_time=1.0)
+        dag.add_function("c", service_time=1.0)
+        dag.add_edge("a", "b", weight=10.0)
+        dag.add_edge("a", "c", weight=0.0)
+        cp = critical_path(dag)
+        assert cp.nodes == ("a", "b")
+        assert cp.length == pytest.approx(12.0)
+
+    def test_disconnected_components(self):
+        dag = WorkflowDAG("d")
+        dag.add_function("a", service_time=1.0)
+        dag.add_function("b", service_time=9.0)
+        cp = critical_path(dag)
+        assert cp.nodes == ("b",)
+
+    def test_path_edges_are_returned(self):
+        dag = chain([1.0, 1.0])
+        cp = critical_path(dag)
+        assert len(cp.edges) == 1
+        assert cp.edges[0].key == ("f0", "f1")
+
+    def test_path_length_helper(self):
+        dag = chain([1.0, 2.0, 3.0])
+        assert path_length(dag, ["f0", "f1"]) == pytest.approx(3.0)
+
+
+class TestEstimateEdgeWeights:
+    def test_weights_scale_with_size(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a", output_size=10 * MB)
+        dag.add_function("b")
+        dag.add_edge("a", "b", data_size=10 * MB)
+        estimate_edge_weights(dag, bandwidth=10 * MB, db_op_latency=0.0)
+        # put + get round trips.
+        assert dag.edge("a", "b").weight == pytest.approx(2.0)
+
+    def test_db_latency_added(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        dag.add_function("b")
+        dag.add_edge("a", "b", data_size=0)
+        estimate_edge_weights(dag, bandwidth=10 * MB, db_op_latency=0.002)
+        assert dag.edge("a", "b").weight == pytest.approx(0.004)
+
+    def test_invalid_bandwidth_rejected(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        with pytest.raises(DAGError):
+            estimate_edge_weights(dag, bandwidth=0)
+
+
+@st.composite
+def weighted_dag(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    dag = WorkflowDAG("random")
+    for i in range(n):
+        dag.add_function(
+            f"f{i}",
+            service_time=draw(st.floats(min_value=0.01, max_value=3.0)),
+        )
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                dag.add_edge(
+                    f"f{i}",
+                    f"f{j}",
+                    weight=draw(st.floats(min_value=0.0, max_value=2.0)),
+                )
+    return dag
+
+
+class TestCriticalPathProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_dag())
+    def test_critical_path_is_a_real_path(self, dag):
+        cp = critical_path(dag)
+        for src, dst in zip(cp.nodes, cp.nodes[1:]):
+            assert dag.has_edge(src, dst)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_dag())
+    def test_length_matches_path_length(self, dag):
+        cp = critical_path(dag)
+        assert cp.length == pytest.approx(
+            path_length(dag, list(cp.nodes)), rel=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_dag())
+    def test_no_longer_chain_exists(self, dag):
+        """Brute-force check: the critical path dominates every path."""
+        cp = critical_path(dag)
+        best = 0.0
+
+        def extend(name, acc):
+            nonlocal best
+            acc += dag.node(name).service_time
+            best = max(best, acc)
+            for edge in dag.out_edges(name):
+                extend(edge.dst, acc + edge.weight)
+
+        for source in dag.sources():
+            extend(source, 0.0)
+        assert cp.length == pytest.approx(best, rel=1e-9)

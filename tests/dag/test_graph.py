@@ -1,0 +1,201 @@
+"""Unit and property tests for the workflow DAG structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import DAGError, FunctionNode, WorkflowDAG
+
+MB = 1024.0 * 1024.0
+
+
+def diamond():
+    """a -> (b, c) -> d."""
+    dag = WorkflowDAG("diamond")
+    dag.add_function("a", output_size=1 * MB)
+    dag.add_function("b", output_size=2 * MB)
+    dag.add_function("c", output_size=3 * MB)
+    dag.add_function("d")
+    dag.add_edge("a", "b", data_size=1 * MB)
+    dag.add_edge("a", "c", data_size=1 * MB)
+    dag.add_edge("b", "d", data_size=2 * MB)
+    dag.add_edge("c", "d", data_size=3 * MB)
+    return dag
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        with pytest.raises(DAGError):
+            dag.add_function("a")
+
+    def test_edge_to_unknown_node_rejected(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        with pytest.raises(DAGError):
+            dag.add_edge("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        with pytest.raises(DAGError):
+            dag.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        dag = diamond()
+        with pytest.raises(DAGError):
+            dag.add_edge("a", "b")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dag = WorkflowDAG("w")
+        for n in "abc":
+            dag.add_function(n)
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        with pytest.raises(DAGError):
+            dag.add_edge("c", "a")
+        # Rollback: the failed edge must not linger.
+        assert not dag.has_edge("c", "a")
+        assert dag.successors("c") == []
+        dag.validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DAGError):
+            WorkflowDAG("")
+        with pytest.raises(DAGError):
+            FunctionNode(name="")
+
+    def test_negative_attributes_rejected(self):
+        with pytest.raises(DAGError):
+            FunctionNode(name="x", service_time=-1)
+        with pytest.raises(DAGError):
+            FunctionNode(name="x", memory=-1)
+        with pytest.raises(DAGError):
+            FunctionNode(name="x", output_size=-1)
+
+
+class TestTopology:
+    def test_sources_and_sinks(self):
+        dag = diamond()
+        assert dag.sources() == ["a"]
+        assert dag.sinks() == ["d"]
+
+    def test_topological_order_respects_edges(self):
+        dag = diamond()
+        order = dag.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for edge in dag.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_successors_predecessors(self):
+        dag = diamond()
+        assert set(dag.successors("a")) == {"b", "c"}
+        assert set(dag.predecessors("d")) == {"b", "c"}
+
+    def test_validate_empty_rejected(self):
+        with pytest.raises(DAGError):
+            WorkflowDAG("w").validate()
+
+    def test_subgraph_induces_edges(self):
+        dag = diamond()
+        sub = dag.subgraph(["a", "b", "d"])
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "d")
+        assert not sub.has_node("c")
+
+    def test_subgraph_unknown_node_rejected(self):
+        with pytest.raises(DAGError):
+            diamond().subgraph(["a", "nope"])
+
+    def test_copy_is_deep_for_structure(self):
+        dag = diamond()
+        clone = dag.copy()
+        clone.add_function("e")
+        clone.add_edge("d", "e")
+        assert not dag.has_node("e")
+        assert clone.node("a").output_size == dag.node("a").output_size
+
+
+class TestDataPlane:
+    def test_total_data_size(self):
+        assert diamond().total_data_size == pytest.approx(7 * MB)
+
+    def test_data_dependencies_direct(self):
+        dag = diamond()
+        deps = dag.data_dependencies("d")
+        assert sorted(deps) == [("b", 2 * MB), ("c", 3 * MB)]
+
+    def test_data_dependencies_resolve_through_virtual(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a", output_size=5 * MB)
+        dag.add_node(FunctionNode(name="v", is_virtual=True, service_time=0))
+        dag.add_function("b")
+        dag.add_edge("a", "v", data_size=5 * MB)
+        dag.add_edge("v", "b", data_size=5 * MB)
+        assert dag.data_dependencies("b") == [("a", 5 * MB)]
+
+    def test_data_consumers_resolve_through_virtual(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a", output_size=5 * MB)
+        dag.add_node(FunctionNode(name="v", is_virtual=True, service_time=0))
+        dag.add_function("b")
+        dag.add_function("c")
+        dag.add_edge("a", "v")
+        dag.add_edge("v", "b")
+        dag.add_edge("v", "c")
+        assert set(dag.data_consumers("a")) == {"b", "c"}
+
+    def test_effective_instances(self):
+        node = FunctionNode(name="f", scale=3.0, map_factor=4.0)
+        assert node.effective_instances == 12.0
+        virtual = FunctionNode(name="v", is_virtual=True)
+        assert virtual.effective_instances == 0.0
+
+
+@st.composite
+def random_dag(draw):
+    """Random DAG: edges only from lower to higher index (acyclic)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    dag = WorkflowDAG("random")
+    for i in range(n):
+        dag.add_function(
+            f"f{i}",
+            service_time=draw(
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+            ),
+            output_size=draw(st.floats(min_value=0.0, max_value=10 * MB)),
+        )
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                dag.add_edge(f"f{i}", f"f{j}", data_size=dag.node(f"f{i}").output_size)
+    return dag
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_dag())
+    def test_topological_order_is_valid(self, dag):
+        order = dag.topological_order()
+        assert sorted(order) == sorted(dag.node_names)
+        position = {name: i for i, name in enumerate(order)}
+        for edge in dag.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_dag())
+    def test_copy_preserves_structure(self, dag):
+        clone = dag.copy()
+        assert sorted(clone.node_names) == sorted(dag.node_names)
+        assert sorted(e.key for e in clone.edges) == sorted(
+            e.key for e in dag.edges
+        )
+        assert clone.total_data_size == pytest.approx(dag.total_data_size)
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_dag())
+    def test_degree_sum_equals_edge_count(self, dag):
+        out_degree = sum(len(dag.successors(n)) for n in dag.node_names)
+        in_degree = sum(len(dag.predecessors(n)) for n in dag.node_names)
+        assert out_degree == in_degree == len(dag.edges)

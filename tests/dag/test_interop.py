@@ -1,0 +1,124 @@
+"""Tests for networkx / DOT interop (and cross-validation oracles)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Placement
+from repro.dag import (
+    DAGError,
+    WorkflowDAG,
+    critical_path,
+    from_networkx,
+    to_dot,
+    to_networkx,
+)
+from repro.workloads import build, layered_random
+
+MB = 1024.0 * 1024.0
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self):
+        dag = build("file-processing")
+        graph = to_networkx(dag)
+        assert graph.number_of_nodes() == len(dag.node_names)
+        assert graph.number_of_edges() == len(dag.edges)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_attributes_carried(self):
+        dag = build("word-count")
+        graph = to_networkx(dag)
+        node = graph.nodes["count-words"]
+        assert node["map_factor"] == 8.0
+        assert node["service_time"] == pytest.approx(0.4)
+
+    def test_round_trip(self):
+        dag = build("genome")
+        clone = from_networkx(to_networkx(dag))
+        assert sorted(clone.node_names) == sorted(dag.node_names)
+        assert sorted(e.key for e in clone.edges) == sorted(
+            e.key for e in dag.edges
+        )
+        assert clone.total_data_size == pytest.approx(dag.total_data_size)
+        for name in dag.node_names:
+            assert clone.node(name).service_time == pytest.approx(
+                dag.node(name).service_time
+            )
+
+    def test_from_networkx_rejects_cycles(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        with pytest.raises(DAGError):
+            from_networkx(graph)
+
+
+class TestCrossValidation:
+    """networkx as an independent oracle for our graph algorithms."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_topological_order_agrees_with_networkx(self, seed):
+        dag = layered_random(layers=4, width=3, seed=seed)
+        graph = to_networkx(dag)
+        position = {n: i for i, n in enumerate(dag.topological_order())}
+        for src, dst in graph.edges:
+            assert position[src] < position[dst]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_critical_path_agrees_with_networkx_longest_path(self, seed):
+        """nx.dag_longest_path_length as an oracle: node service times
+        are pushed onto incoming edges, and all sources hang off a
+        zero-cost super-source carrying each entry's own cost."""
+        dag = layered_random(layers=4, width=3, seed=seed)
+        for edge in dag.edges:
+            edge.weight = 0.25
+        ours = critical_path(dag).length
+        graph = nx.DiGraph()
+        super_source = "__start__"
+        graph.add_node(super_source)
+        for node in dag.nodes:
+            graph.add_node(node.name)
+        for source in dag.sources():
+            graph.add_edge(
+                super_source, source, w=dag.node(source).service_time
+            )
+        for edge in dag.edges:
+            graph.add_edge(
+                edge.src,
+                edge.dst,
+                w=edge.weight + dag.node(edge.dst).service_time,
+            )
+        oracle = nx.dag_longest_path_length(graph, weight="w")
+        assert ours == pytest.approx(oracle, rel=1e-9)
+
+
+class TestDot:
+    def test_renders_nodes_and_edges(self):
+        dag = build("file-processing")
+        dot = to_dot(dag)
+        assert dot.startswith('digraph "file-processing"')
+        assert '"fetch-note" -> "process.start"' in dot
+        assert "[shape=point]" in dot  # virtual nodes
+
+    def test_placement_clusters(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a")
+        dag.add_function("b")
+        dag.add_edge("a", "b")
+        placement = Placement(
+            workflow="w", assignment={"a": "w0", "b": "w1"}
+        )
+        dot = to_dot(dag, placement=placement)
+        assert "cluster_0" in dot and "cluster_1" in dot
+        assert 'label="w0"' in dot
+
+    def test_edge_labels_show_data(self):
+        dag = WorkflowDAG("w")
+        dag.add_function("a", output_size=4 * MB)
+        dag.add_function("b")
+        dag.add_edge("a", "b", data_size=4 * MB)
+        assert '4.0MB' in to_dot(dag)

@@ -1,0 +1,88 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.charts import bar_chart, chart_for_result, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_included(self):
+        chart = bar_chart(["a"], [1.0], title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_values_printed(self):
+        chart = bar_chart(["a"], [3.14159])
+        assert "3.14" in chart
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["a"], [1.0], unit="ms")
+        assert "1.00 ms" in chart
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0], width=10)
+        assert "#" not in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGroupedBarChart:
+    def test_two_series_per_label(self):
+        chart = grouped_bar_chart(
+            ["Cyc", "Epi"],
+            {"Hyper": [204.2, 2.23], "FaaS": [10.28, 0.69]},
+        )
+        assert chart.count("Hyper") == 2
+        assert chart.count("FaaS") == 2
+
+    def test_shared_scale_across_series(self):
+        chart = grouped_bar_chart(
+            ["x"], {"big": [100.0], "small": [50.0]}, width=10
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {})
+
+
+class TestChartForResult:
+    def make_result(self, rows):
+        return ExperimentResult(
+            experiment="figX",
+            title="t",
+            headers=["benchmark", "latency"],
+            rows=rows,
+        )
+
+    def test_numeric_column_charts(self):
+        chart = chart_for_result(self.make_result([["a", 1.0], ["b", 2.0]]))
+        assert chart is not None
+        assert "figX" in chart
+
+    def test_non_numeric_column_returns_none(self):
+        chart = chart_for_result(self.make_result([["a", "n/a"]]))
+        assert chart is None

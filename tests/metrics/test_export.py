@@ -1,0 +1,141 @@
+"""Tests for CSV export/import of metrics and experiment results."""
+
+import pytest
+
+from repro.metrics import InvocationRecord, MetricsCollector, TransferEvent
+from repro.metrics.export import (
+    export_metrics,
+    read_invocations_csv,
+    read_transfers_csv,
+    write_invocations_csv,
+    write_result_csv,
+    write_transfers_csv,
+)
+
+MB = 1024.0 * 1024.0
+
+
+def populated_collector():
+    collector = MetricsCollector()
+    for i in range(3):
+        collector.record_invocation(
+            InvocationRecord(
+                workflow="w",
+                invocation_id=i,
+                mode="worker-sp",
+                started_at=float(i),
+                finished_at=float(i) + 1.5,
+                status="ok" if i < 2 else "timeout",
+                critical_path_exec=0.4,
+                cold_starts=i,
+            )
+        )
+    collector.record_transfer(
+        TransferEvent("w", 0, "a", "b", 2 * MB, 0.25, "get", True)
+    )
+    collector.record_transfer(
+        TransferEvent("w", 1, "a", "", 2 * MB, 0.5, "put", False)
+    )
+    return collector
+
+
+class TestRoundTrip:
+    def test_invocations_round_trip(self, tmp_path):
+        collector = populated_collector()
+        path = tmp_path / "inv.csv"
+        assert write_invocations_csv(collector, path) == 3
+        loaded = read_invocations_csv(path)
+        assert len(loaded) == 3
+        assert loaded[0].latency == pytest.approx(1.5)
+        assert loaded[2].status == "timeout"
+        assert loaded[1].cold_starts == 1
+
+    def test_transfers_round_trip(self, tmp_path):
+        collector = populated_collector()
+        path = tmp_path / "tr.csv"
+        assert write_transfers_csv(collector, path) == 2
+        loaded = read_transfers_csv(path)
+        assert loaded[0].local is True
+        assert loaded[1].local is False
+        assert loaded[0].size == pytest.approx(2 * MB)
+
+    def test_loaded_metrics_aggregate_identically(self, tmp_path):
+        collector = populated_collector()
+        paths = export_metrics(collector, tmp_path, prefix="test")
+        clone = MetricsCollector()
+        for record in read_invocations_csv(paths["invocations"]):
+            clone.record_invocation(record)
+        for event in read_transfers_csv(paths["transfers"]):
+            clone.record_transfer(event)
+        assert clone.mean_latency("w") == pytest.approx(
+            collector.mean_latency("w")
+        )
+        assert clone.data_moved("w") == pytest.approx(collector.data_moved("w"))
+        assert clone.local_fraction("w") == pytest.approx(
+            collector.local_fraction("w")
+        )
+
+    def test_export_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        paths = export_metrics(populated_collector(), target)
+        assert paths["invocations"].exists()
+        assert paths["transfers"].exists()
+
+
+class TestResultCSV:
+    def test_result_table_written_with_notes(self, tmp_path):
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            headers=["benchmark", "value"],
+            rows=[["Cyc", 1.5], ["Epi", 2.5]],
+            notes=["calibrated against the paper"],
+        )
+        path = tmp_path / "figX.csv"
+        assert write_result_csv(result, path) == 2
+        text = path.read_text()
+        assert text.startswith("# calibrated against the paper")
+        assert "benchmark,value" in text
+        assert "Cyc,1.5" in text
+
+
+class TestCLIIntegration:
+    def test_cli_csv_flag_writes_files(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig05", "--quick", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig05.csv").exists()
+
+    def test_cli_chart_flag_renders(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig05", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar glyphs present
+
+
+class TestMarkdownReport:
+    def test_markdown_rendering(self):
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            headers=["benchmark", "value"],
+            rows=[["Cyc", 1.5]],
+            notes=["a note"],
+        )
+        text = result.to_markdown()
+        assert text.startswith("## figX — demo")
+        assert "| benchmark | value |" in text
+        assert "| Cyc | 1.50 |" in text
+        assert "> a note" in text
+
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(["fig05", "--quick", "--markdown", str(target)]) == 0
+        assert target.read_text().startswith("## fig05")

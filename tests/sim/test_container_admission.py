@@ -1,0 +1,128 @@
+"""Tests for container-pool memory admission and cross-function serving.
+
+Under open-loop overload, cold starts must queue on node memory rather
+than crash it, and freed memory must serve the oldest waiter across
+*all* functions — not just the freed container's own function.
+"""
+
+import pytest
+
+from repro.sim.container import ContainerPool, ContainerSpec, ContainerState
+from repro.sim.kernel import Environment
+from repro.sim.resources import CPUAllocator, MemoryAccount
+
+MB = 1024.0 * 1024.0
+
+
+def make_pool(env, memory_mb, **spec_kwargs):
+    defaults = dict(
+        memory_limit=256 * MB,
+        cold_start_time=0.1,
+        keepalive=600.0,
+        max_per_function=10,
+    )
+    defaults.update(spec_kwargs)
+    spec = ContainerSpec(**defaults)
+    cpu = CPUAllocator(env, cores=8)
+    memory = MemoryAccount(env, capacity=memory_mb * MB)
+    return ContainerPool(env, "worker-0", cpu, memory, spec)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestMemoryAdmission:
+    def test_cold_start_queues_when_memory_full(self, env):
+        pool = make_pool(env, memory_mb=512)  # room for 2 containers
+        c1 = env.run(until=pool.acquire("fn-a"))
+        c2 = env.run(until=pool.acquire("fn-b"))
+        third = pool.acquire("fn-c")
+        env.run(until=env.now + 1.0)
+        assert not third.processed  # queued, not crashed
+        pool.release(c1)
+        # An idle same-function container exists but fn-c needs its own;
+        # destroy it to free memory.
+        pool.recycle_version("fn-a", version=1)
+        env.run(until=env.now + 1.0)
+        assert third.processed
+
+    def test_never_overcommits_memory(self, env):
+        pool = make_pool(env, memory_mb=768)  # 3 containers max
+        acquisitions = [pool.acquire(f"fn-{i}") for i in range(6)]
+        env.run(until=env.now + 5.0)
+        granted = sum(1 for a in acquisitions if a.processed)
+        assert granted == 3
+        assert pool.memory.reserved <= 768 * MB + 1e-6
+
+    def test_waiters_served_fifo_across_functions(self, env):
+        pool = make_pool(env, memory_mb=256)  # exactly 1 container
+        first = env.run(until=pool.acquire("fn-a"))
+        order = []
+        second = pool.acquire("fn-b")
+        second.callbacks.append(lambda e: order.append("b"))
+        third = pool.acquire("fn-c")
+        third.callbacks.append(lambda e: order.append("c"))
+        env.run(until=env.now + 0.5)
+        assert order == []
+        pool.release(first)
+        pool.recycle_version("fn-a", version=1)  # free the memory
+        env.run(until=env.now + 0.5)
+        assert order == ["b"]  # oldest waiter first
+        pool.release(second.value)
+        pool.recycle_version("fn-b", version=1)
+        env.run(until=env.now + 0.5)
+        assert order == ["b", "c"]
+
+    def test_same_function_waiter_reuses_released_container(self, env):
+        pool = make_pool(env, memory_mb=256, max_per_function=1)
+        first = env.run(until=pool.acquire("fn"))
+        waiter = pool.acquire("fn")
+        env.run(until=env.now + 0.2)
+        assert not waiter.processed
+        pool.release(first)
+        env.run(until=env.now + 0.2)
+        assert waiter.processed
+        assert waiter.value is first  # warm handoff, no cold start
+
+    def test_keepalive_expiry_frees_memory_for_waiters(self, env):
+        pool = make_pool(env, memory_mb=256, keepalive=5.0)
+        first = env.run(until=pool.acquire("fn-a"))
+        pool.release(first)
+        waiter = pool.acquire("fn-b")
+        env.run(until=env.now + 1.0)
+        assert not waiter.processed  # fn-a idle container holds memory
+        env.run(until=env.now + 10.0)  # keep-alive expires fn-a
+        assert waiter.processed
+
+    def test_capacity_left_reflects_memory(self, env):
+        pool = make_pool(env, memory_mb=512)
+        assert pool.capacity_left("fn") == 2
+        env.run(until=pool.acquire("fn"))
+        assert pool.capacity_left("fn") == 1
+        env.run(until=pool.acquire("other"))
+        assert pool.capacity_left("fn") == 0
+
+
+class TestFaaStorePoolInteraction:
+    def test_faastore_pool_shrinks_container_headroom(self, env):
+        from repro.sim import Cluster, ClusterConfig, NodeConfig
+
+        env2 = Environment()
+        cluster = Cluster(
+            env2,
+            ClusterConfig(
+                workers=1,
+                worker=NodeConfig(cores=8, memory=1024 * MB),
+            ),
+        )
+        worker = cluster.workers[0]
+        worker.set_faastore_quota(512 * MB)
+        # Only 512 MB left for containers -> 2 slots.
+        a1 = worker.containers.acquire("fn-a")
+        a2 = worker.containers.acquire("fn-b")
+        a3 = worker.containers.acquire("fn-c")
+        env2.run(until=env2.now + 2.0)
+        assert a1.processed and a2.processed
+        assert not a3.processed

@@ -1,0 +1,216 @@
+"""Edge-case tests for the simulation kernel (beyond the basics)."""
+
+import pytest
+
+from repro.sim.kernel import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+from repro.sim.sync import Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestRunUntilFailures:
+    def test_awaited_process_failure_reraises(self, env):
+        def boom(env):
+            yield env.timeout(1.0)
+            raise KeyError("expected")
+
+        with pytest.raises(KeyError):
+            env.run(until=env.process(boom(env)))
+
+    def test_unawaited_failure_still_crashes(self, env):
+        def boom(env):
+            yield env.timeout(1.0)
+            raise KeyError("unhandled")
+
+        env.process(boom(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_failure_observed_by_sibling_does_not_crash(self, env):
+        def boom(env):
+            yield env.timeout(1.0)
+            raise KeyError("observed")
+
+        def observer(env, target):
+            try:
+                yield target
+            except KeyError:
+                return "caught"
+
+        target = env.process(boom(env))
+        watcher = env.process(observer(env, target))
+        assert env.run(until=watcher) == "caught"
+
+
+class TestNestedProcesses:
+    def test_three_levels_of_nesting(self, env):
+        def leaf(env):
+            yield env.timeout(1.0)
+            return "leaf"
+
+        def middle(env):
+            value = yield env.process(leaf(env))
+            return f"middle({value})"
+
+        def root(env):
+            value = yield env.process(middle(env))
+            return f"root({value})"
+
+        assert env.run(until=env.process(root(env))) == "root(middle(leaf))"
+
+    def test_exception_bubbles_through_levels(self, env):
+        def leaf(env):
+            yield env.timeout(1.0)
+            raise ValueError("deep")
+
+        def middle(env):
+            yield env.process(leaf(env))
+
+        def root(env):
+            try:
+                yield env.process(middle(env))
+            except ValueError as error:
+                return str(error)
+
+        assert env.run(until=env.process(root(env))) == "deep"
+
+    def test_interrupting_parent_leaves_child_running(self, env):
+        log = []
+
+        def child(env):
+            yield env.timeout(5.0)
+            log.append("child-done")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except Interrupt:
+                log.append("parent-interrupted")
+
+        def attacker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        p = env.process(parent(env))
+        env.process(attacker(env, p))
+        env.run()
+        assert log == ["parent-interrupted", "child-done"]
+
+
+class TestInterruptDuringResourceWait:
+    def test_interrupted_waiter_leaves_queue(self, env):
+        resource = Resource(env, capacity=1)
+        holder_done = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10.0)
+                holder_done.append(env.now)
+
+        def waiter(env):
+            with resource.request() as req:
+                try:
+                    yield req
+                except Interrupt:
+                    return "interrupted"
+
+        def attacker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        env.process(holder(env))
+        w = env.process(waiter(env))
+        env.process(attacker(env, w))
+        assert env.run(until=w) == "interrupted"
+        env.run()
+        # The interrupted request must not hold or receive the slot.
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_interrupted_store_getter_cleans_up(self, env):
+        store = Store(env)
+
+        def getter(env):
+            get = store.get()
+            try:
+                yield get
+            except Interrupt:
+                store.cancel_get(get)
+                return "interrupted"
+
+        def attacker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        g = env.process(getter(env))
+        env.process(attacker(env, g))
+        assert env.run(until=g) == "interrupted"
+        # Later puts are not consumed by the dead getter.
+        store.put("x")
+        env.run()
+        assert store.items == ("x",)
+
+
+class TestZeroDelay:
+    def test_zero_timeouts_preserve_order(self, env):
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(0.0)
+            order.append(name)
+
+        for name in "abc":
+            env.process(proc(env, name))
+        env.run()
+        assert order == list("abc")
+
+    def test_chained_zero_delays_make_progress(self, env):
+        def proc(env):
+            for _ in range(1000):
+                yield env.timeout(0.0)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+
+class TestEventReuse:
+    def test_yielding_same_processed_event_twice(self, env):
+        ev = env.event()
+        ev.succeed("v")
+        env.run()
+
+        def proc(env):
+            a = yield ev
+            b = yield ev
+            return (a, b)
+
+        assert env.run(until=env.process(proc(env))) == ("v", "v")
+
+    def test_many_waiters_one_event(self, env):
+        ev = env.event()
+        results = []
+
+        def waiter(env, i):
+            value = yield ev
+            results.append((i, value))
+
+        for i in range(50):
+            env.process(waiter(env, i))
+
+        def firer(env):
+            yield env.timeout(1.0)
+            ev.succeed("go")
+
+        env.process(firer(env))
+        env.run()
+        assert len(results) == 50
+        assert all(v == "go" for _, v in results)

@@ -1,0 +1,121 @@
+"""Tests for container prewarming."""
+
+import pytest
+
+from repro.sim.container import ContainerPool, ContainerSpec, ContainerState
+from repro.sim.kernel import Environment, SimulationError
+from repro.sim.resources import CPUAllocator, MemoryAccount
+
+MB = 1024.0 * 1024.0
+
+
+def make_pool(env, memory_mb=32 * 1024, **spec_kwargs):
+    defaults = dict(cold_start_time=0.5, keepalive=600.0, max_per_function=10)
+    defaults.update(spec_kwargs)
+    spec = ContainerSpec(**defaults)
+    return ContainerPool(
+        env,
+        "worker-0",
+        CPUAllocator(env, cores=8),
+        MemoryAccount(env, capacity=memory_mb * MB),
+        spec,
+    )
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPrewarm:
+    def test_prewarmed_acquire_is_instant(self, env):
+        pool = make_pool(env)
+        assert pool.prewarm("fn", count=1) == 1
+        env.run(until=env.now + 1.0)  # cold start happens off-path
+        t0 = env.now
+        container = env.run(until=pool.acquire("fn"))
+        assert env.now == t0
+        assert container.state == ContainerState.BUSY
+
+    def test_prewarmed_container_is_not_a_cold_start_for_the_invocation(self, env):
+        pool = make_pool(env)
+        pool.prewarm("fn", count=1)
+        env.run(until=env.now + 1.0)
+        container = env.run(until=pool.acquire("fn"))
+        # The runtime counts cold starts as invocations == 1.
+        assert container.invocations > 1
+
+    def test_prewarm_respects_per_function_limit(self, env):
+        pool = make_pool(env, max_per_function=3)
+        assert pool.prewarm("fn", count=5) == 3
+        env.run(until=env.now + 1.0)
+        assert pool.count("fn") == 3
+
+    def test_prewarm_respects_memory(self, env):
+        pool = make_pool(env, memory_mb=512)  # two containers
+        assert pool.prewarm("fn", count=5) == 2
+
+    def test_prewarm_serves_pending_waiter(self, env):
+        pool = make_pool(env, memory_mb=512, max_per_function=1)
+        first = env.run(until=pool.acquire("fn"))
+        waiter = pool.acquire("fn")
+        env.run(until=env.now + 0.1)
+        pool.release(first)
+        env.run(until=env.now + 0.1)
+        assert waiter.processed  # release handed it over
+
+    def test_negative_count_rejected(self, env):
+        pool = make_pool(env)
+        with pytest.raises(SimulationError):
+            pool.prewarm("fn", count=-1)
+
+    def test_zero_count_noop(self, env):
+        pool = make_pool(env)
+        assert pool.prewarm("fn", count=0) == 0
+
+
+class TestDeployPrewarm:
+    def test_deploy_prewarm_eliminates_first_cold_start(self):
+        from repro.clients import run_closed_loop
+        from repro.core import EngineConfig, FaaSFlowSystem, Placement
+        from repro.dag import WorkflowDAG
+        from repro.sim import Cluster, ClusterConfig, ContainerSpec
+
+        env = Environment()
+        cluster = Cluster(
+            env,
+            ClusterConfig(workers=2, container=ContainerSpec(cold_start_time=0.5)),
+        )
+        dag = WorkflowDAG("w")
+        dag.add_function("f", service_time=0.1, output_size=0)
+        system = FaaSFlowSystem(cluster, EngineConfig(ship_data=False))
+        system.deploy(
+            dag,
+            Placement(workflow="w", assignment={"f": "worker-0"}),
+            prewarm=1,
+        )
+        env.run(until=env.now + 1.0)  # let the prewarm cold start finish
+        records = run_closed_loop(system, "w", 2)
+        assert all(r.cold_starts == 0 for r in records)
+        assert records[0].latency < 0.5  # no cold start on the path
+
+    def test_mapped_functions_prewarm_all_instances(self):
+        from repro.core import EngineConfig, FaaSFlowSystem, Placement
+        from repro.dag import WorkflowDAG
+        from repro.sim import Cluster, ClusterConfig, ContainerSpec
+
+        env = Environment()
+        cluster = Cluster(
+            env,
+            ClusterConfig(workers=1, container=ContainerSpec(cold_start_time=0.1)),
+        )
+        dag = WorkflowDAG("w")
+        dag.add_function("mapped", service_time=0.1, map_factor=4, output_size=0)
+        system = FaaSFlowSystem(cluster, EngineConfig(ship_data=False))
+        system.deploy(
+            dag,
+            Placement(workflow="w", assignment={"mapped": "worker-0"}),
+            prewarm=1,
+        )
+        env.run(until=env.now + 1.0)
+        assert cluster.workers[0].containers.count("mapped") == 4

@@ -1,0 +1,137 @@
+"""Unit tests for the remote KV store and local memory store."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.network import MB, Network, NetworkConfig
+from repro.sim.storage import KeyNotFoundError, LocalMemStore, RemoteKVStore
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_remote(env, bandwidth=10 * MB, op_latency=0.0):
+    net = Network(env, NetworkConfig(latency=0.0, message_threshold=0.0))
+    store_nic = net.attach("storage", bandwidth)
+    worker_nic = net.attach("worker-0", 100 * MB)
+    store = RemoteKVStore(env, net, store_nic, op_latency=op_latency)
+    return store, worker_nic, net
+
+
+class TestRemoteKVStore:
+    def test_put_transfers_over_network(self, env):
+        store, worker, _ = make_remote(env)
+        done = store.put("k", 10 * MB, src=worker)
+        env.run(until=done)
+        assert env.now == pytest.approx(1.0, rel=1e-6)
+        assert "k" in store
+        assert store.size_of("k") == 10 * MB
+
+    def test_get_transfers_back(self, env):
+        store, worker, _ = make_remote(env)
+        env.run(until=store.put("k", 10 * MB, src=worker))
+        t0 = env.now
+        size = env.run(until=store.get("k", dst=worker))
+        assert size == 10 * MB
+        assert env.now - t0 == pytest.approx(1.0, rel=1e-6)
+
+    def test_get_missing_key_fails(self, env):
+        store, worker, _ = make_remote(env)
+        with pytest.raises(KeyNotFoundError):
+            env.run(until=store.get("absent", dst=worker))
+
+    def test_op_latency_added(self, env):
+        store, worker, _ = make_remote(env, op_latency=0.01)
+        env.run(until=store.put("k", 1 * MB, src=worker))
+        assert env.now == pytest.approx(0.1 + 0.01, rel=1e-4)
+
+    def test_delete(self, env):
+        store, worker, _ = make_remote(env)
+        env.run(until=store.put("k", 1 * MB, src=worker))
+        store.delete("k")
+        assert "k" not in store
+        assert store.stats.deletes == 1
+        store.delete("k")  # idempotent
+        assert store.stats.deletes == 1
+
+    def test_stats_accumulate(self, env):
+        store, worker, _ = make_remote(env)
+        env.run(until=store.put("a", 2 * MB, src=worker))
+        env.run(until=store.put("b", 3 * MB, src=worker))
+        env.run(until=store.get("a", dst=worker))
+        assert store.stats.puts == 2
+        assert store.stats.gets == 1
+        assert store.stats.bytes_in == pytest.approx(5 * MB)
+        assert store.stats.bytes_out == pytest.approx(2 * MB)
+        assert store.stored_bytes == pytest.approx(5 * MB)
+        assert store.key_count == 2
+
+    def test_contention_between_puts(self, env):
+        store, worker, net = make_remote(env)
+        worker2 = net.attach("worker-1", 100 * MB)
+        d1 = store.put("a", 10 * MB, src=worker)
+        d2 = store.put("b", 10 * MB, src=worker2)
+        env.run(until=env.all_of([d1, d2]))
+        # Both share the storage NIC's 10 MB/s ingress.
+        assert env.now == pytest.approx(2.0, rel=1e-5)
+
+
+class TestLocalMemStore:
+    def test_put_within_quota(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        done = store.try_put("k", 5 * MB)
+        assert done is not None
+        env.run(until=done)
+        assert store.used == 5 * MB
+        assert "k" in store
+
+    def test_put_over_quota_refused(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        assert store.try_put("a", 8 * MB) is not None
+        assert store.try_put("b", 5 * MB) is None
+        assert store.rejected_puts == 1
+        assert "b" not in store
+
+    def test_get_returns_size(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        env.run(until=store.try_put("k", 4 * MB))
+        size = env.run(until=store.get("k"))
+        assert size == 4 * MB
+
+    def test_get_missing_fails(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        with pytest.raises(KeyNotFoundError):
+            env.run(until=store.get("nope"))
+
+    def test_local_access_is_fast(self, env):
+        store = LocalMemStore(env, "worker-0", quota=100 * MB)
+        env.run(until=store.try_put("k", 50 * MB))
+        # Memory-speed: far below what any NIC could do.
+        assert env.now < 0.05
+
+    def test_delete_frees_quota(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        env.run(until=store.try_put("k", 8 * MB))
+        store.delete("k")
+        assert store.used == 0
+        assert store.try_put("k2", 8 * MB) is not None
+
+    def test_quota_shrink_keeps_data(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        env.run(until=store.try_put("k", 8 * MB))
+        store.set_quota(5 * MB)
+        assert "k" in store  # existing data stays
+        assert store.try_put("k2", 1 * MB) is None  # but no new puts
+
+    def test_zero_quota_rejects_everything(self, env):
+        store = LocalMemStore(env, "worker-0", quota=0)
+        assert store.try_put("k", 1) is None
+
+    def test_clear(self, env):
+        store = LocalMemStore(env, "worker-0", quota=10 * MB)
+        env.run(until=store.try_put("k", 4 * MB))
+        store.clear()
+        assert store.used == 0
+        assert store.key_count == 0

@@ -1,0 +1,271 @@
+"""Unit tests for the WDL parser (YAML -> DAG lowering)."""
+
+import pytest
+
+from repro.wdl import WDLError, parse_workflow
+
+MB = 1024.0 * 1024.0
+
+SIMPLE = """
+name: simple
+steps:
+  - task: f1
+    service_time: 200ms
+    output_size: 2MB
+  - task: f2
+    service_time: 0.3
+"""
+
+PARALLEL = """
+name: par
+steps:
+  - task: head
+    output_size: 1MB
+  - parallel: split
+    branches:
+      - - task: left
+          output_size: 2MB
+      - - task: right
+          output_size: 3MB
+  - task: tail
+"""
+
+SWITCH = """
+name: sw
+steps:
+  - task: head
+    output_size: 1MB
+  - switch: route
+    cases:
+      - condition: "lang == 'en'"
+        steps:
+          - task: english
+      - condition: default
+        steps:
+          - task: other
+"""
+
+FOREACH = """
+name: fe
+steps:
+  - task: split
+    output_size: 8MB
+  - foreach: mapper
+    items: 4
+    steps:
+      - task: work
+        output_size: 4MB
+  - task: merge
+"""
+
+NESTED = """
+name: nested
+defaults:
+  service_time: 50ms
+  memory: 32MB
+steps:
+  - task: start
+    output_size: 1MB
+  - parallel: outer
+    branches:
+      - - parallel: inner
+          branches:
+            - - task: a
+            - - task: b
+      - - task: c
+  - task: finish
+"""
+
+
+class TestSequence:
+    def test_chain_structure(self):
+        dag = parse_workflow(SIMPLE)
+        assert dag.name == "simple"
+        assert dag.node_names == ["f1", "f2"]
+        assert dag.has_edge("f1", "f2")
+
+    def test_attributes_parsed(self):
+        dag = parse_workflow(SIMPLE)
+        f1 = dag.node("f1")
+        assert f1.service_time == pytest.approx(0.2)
+        assert f1.output_size == pytest.approx(2 * MB)
+        assert dag.node("f2").service_time == pytest.approx(0.3)
+
+    def test_edge_carries_producer_output(self):
+        dag = parse_workflow(SIMPLE)
+        assert dag.edge("f1", "f2").data_size == pytest.approx(2 * MB)
+
+    def test_defaults_applied(self):
+        dag = parse_workflow(NESTED)
+        assert dag.node("a").service_time == pytest.approx(0.05)
+        assert dag.node("a").memory == pytest.approx(32 * MB)
+
+
+class TestParallel:
+    def test_virtual_nodes_bracket_step(self):
+        dag = parse_workflow(PARALLEL)
+        assert dag.node("split.start").is_virtual
+        assert dag.node("split.end").is_virtual
+        assert dag.has_edge("head", "split.start")
+        assert dag.has_edge("split.start", "left")
+        assert dag.has_edge("split.start", "right")
+        assert dag.has_edge("left", "split.end")
+        assert dag.has_edge("right", "split.end")
+        assert dag.has_edge("split.end", "tail")
+
+    def test_virtual_forwarding_sizes(self):
+        dag = parse_workflow(PARALLEL)
+        # head's 1 MB forwards through split.start to each branch.
+        assert dag.edge("split.start", "left").data_size == pytest.approx(1 * MB)
+        # Both branch outputs aggregate at split.end -> tail.
+        assert dag.edge("split.end", "tail").data_size == pytest.approx(5 * MB)
+
+    def test_data_dependencies_through_virtuals(self):
+        dag = parse_workflow(PARALLEL)
+        assert dag.data_dependencies("left") == [("head", 1 * MB)]
+        deps = dict(dag.data_dependencies("tail"))
+        assert deps == {"left": 2 * MB, "right": 3 * MB}
+
+    def test_single_branch_rejected(self):
+        bad = """
+name: bad
+steps:
+  - parallel: p
+    branches:
+      - - task: only
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+
+class TestSwitch:
+    def test_switch_lowered_like_parallel(self):
+        dag = parse_workflow(SWITCH)
+        assert dag.has_edge("route.start", "english")
+        assert dag.has_edge("route.start", "other")
+        assert dag.node("route.start").step_type == "switch"
+
+    def test_conditions_preserved(self):
+        dag = parse_workflow(SWITCH)
+        assert dag.node("route.start").metadata["conditions"] == [
+            "lang == 'en'",
+            "default",
+        ]
+
+    def test_case_requires_condition(self):
+        bad = """
+name: bad
+steps:
+  - switch: s
+    cases:
+      - steps:
+          - task: x
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+
+class TestForeach:
+    def test_body_gets_map_factor(self):
+        dag = parse_workflow(FOREACH)
+        work = dag.node("work")
+        assert work.map_factor == 4.0
+        assert work.step_type == "foreach"
+
+    def test_items_validation(self):
+        bad = FOREACH.replace("items: 4", "items: 0")
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+        bad = FOREACH.replace("items: 4", "items: lots")
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+    def test_nested_fanout_in_foreach_rejected(self):
+        bad = """
+name: bad
+steps:
+  - foreach: fe
+    items: 2
+    steps:
+      - parallel: p
+        branches:
+          - - task: a
+          - - task: b
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+    def test_virtual_brackets(self):
+        dag = parse_workflow(FOREACH)
+        assert dag.has_edge("split", "mapper.start")
+        assert dag.has_edge("mapper.end", "merge")
+
+
+class TestNesting:
+    def test_nested_parallel_builds(self):
+        dag = parse_workflow(NESTED)
+        dag.validate()
+        assert dag.has_edge("outer.start", "inner.start")
+        assert dag.has_edge("inner.end", "outer.end")
+        assert dag.has_edge("outer.start", "c")
+        deps = dict(dag.data_dependencies("a"))
+        assert deps == {"start": 1 * MB}
+
+
+class TestValidation:
+    def test_missing_name_rejected(self):
+        with pytest.raises(WDLError):
+            parse_workflow("steps:\n  - task: f\n")
+
+    def test_missing_steps_rejected(self):
+        with pytest.raises(WDLError):
+            parse_workflow("name: x\n")
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(WDLError):
+            parse_workflow("name: x\nsteps:\n  - task: f\nbogus: 1\n")
+
+    def test_unknown_task_key_rejected(self):
+        bad = """
+name: x
+steps:
+  - task: f
+    cpu_quota: 2
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+    def test_duplicate_step_names_rejected(self):
+        bad = """
+name: x
+steps:
+  - task: f
+  - task: f
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+    def test_step_with_two_kinds_rejected(self):
+        bad = """
+name: x
+steps:
+  - task: f
+    foreach: g
+    items: 2
+    steps:
+      - task: h
+"""
+        with pytest.raises(WDLError):
+            parse_workflow(bad)
+
+    def test_invalid_yaml_rejected(self):
+        with pytest.raises(WDLError):
+            parse_workflow("name: [unclosed")
+
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(WDLError):
+            parse_workflow("- just\n- a list\n")
+
+    def test_parsed_dag_validates(self):
+        for text in (SIMPLE, PARALLEL, SWITCH, FOREACH, NESTED):
+            parse_workflow(text).validate()

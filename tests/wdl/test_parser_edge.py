@@ -1,0 +1,207 @@
+"""Additional WDL parser coverage: nesting, defaults, and hard errors."""
+
+import pytest
+
+from repro.wdl import WDLError, parse_workflow, workflow_from_dict
+
+MB = 1024.0 * 1024.0
+
+
+class TestDeepNesting:
+    def test_sequence_inside_parallel_inside_parallel(self):
+        dag = parse_workflow(
+            """
+name: deep
+steps:
+  - task: start
+    output_size: 1MB
+  - parallel: outer
+    branches:
+      - - parallel: inner
+          branches:
+            - - sequence: s1
+                steps:
+                  - task: a1
+                  - task: a2
+            - - task: b
+      - - task: c
+"""
+        )
+        dag.validate()
+        assert dag.has_edge("a1", "a2")
+        assert dag.has_edge("inner.start", "a1")
+        assert dag.has_edge("a2", "inner.end")
+
+    def test_foreach_after_foreach(self):
+        dag = parse_workflow(
+            """
+name: fefe
+steps:
+  - foreach: first
+    items: 2
+    steps:
+      - task: m1
+        output_size: 2MB
+  - foreach: second
+    items: 3
+    steps:
+      - task: m2
+"""
+        )
+        dag.validate()
+        assert dag.node("m1").map_factor == 2
+        assert dag.node("m2").map_factor == 3
+        assert dag.has_edge("first.end", "second.start")
+        # m2 consumes m1's output through the virtual chain.
+        assert dag.data_dependencies("m2") == [("m1", 2 * MB)]
+
+    def test_switch_inside_parallel(self):
+        dag = parse_workflow(
+            """
+name: sp
+steps:
+  - task: head
+  - parallel: p
+    branches:
+      - - switch: s
+          cases:
+            - condition: "x"
+              steps: [ {task: yes-branch} ]
+            - condition: default
+              steps: [ {task: no-branch} ]
+      - - task: plain
+"""
+        )
+        dag.validate()
+        assert dag.node("s.start").step_type == "switch"
+        assert dag.has_edge("p.start", "s.start")
+
+
+class TestDefaults:
+    def test_defaults_override_and_inherit(self):
+        dag = workflow_from_dict(
+            {
+                "name": "d",
+                "defaults": {
+                    "service_time": "1s",
+                    "memory": "100MB",
+                    "output_size": "5MB",
+                },
+                "steps": [
+                    {"task": "inherits"},
+                    {"task": "overrides", "service_time": "2s",
+                     "output_size": 0},
+                ],
+            }
+        )
+        assert dag.node("inherits").service_time == 1.0
+        assert dag.node("inherits").output_size == 5 * MB
+        assert dag.node("overrides").service_time == 2.0
+        assert dag.node("overrides").output_size == 0
+
+    def test_unknown_default_key_rejected(self):
+        with pytest.raises(WDLError):
+            workflow_from_dict(
+                {
+                    "name": "d",
+                    "defaults": {"cpu": 2},
+                    "steps": [{"task": "t"}],
+                }
+            )
+
+    def test_non_mapping_defaults_rejected(self):
+        with pytest.raises(WDLError):
+            workflow_from_dict(
+                {"name": "d", "defaults": [1], "steps": [{"task": "t"}]}
+            )
+
+
+class TestMetadata:
+    def test_task_metadata_preserved(self):
+        dag = workflow_from_dict(
+            {
+                "name": "m",
+                "steps": [
+                    {"task": "t", "metadata": {"owner": "team-x", "gpu": True}}
+                ],
+            }
+        )
+        assert dag.node("t").metadata["owner"] == "team-x"
+        assert dag.node("t").metadata["gpu"] is True
+
+    def test_non_mapping_metadata_rejected(self):
+        with pytest.raises(WDLError):
+            workflow_from_dict(
+                {"name": "m", "steps": [{"task": "t", "metadata": [1]}]}
+            )
+
+
+class TestHardErrors:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"name": "x", "steps": [{"task": ""}]},  # empty name
+            {"name": "x", "steps": [{"task": 42}]},  # non-string name
+            {"name": "x", "steps": ["just-a-string"]},  # non-mapping step
+            {"name": "x", "steps": [{"parallel": "p", "branches": "nope"}]},
+            {"name": "x", "steps": [{"switch": "s", "cases": []}]},
+            {"name": "x", "steps": [{"foreach": "f", "items": 2}]},  # no body
+            {"name": "x", "steps": [{"sequence": "s", "steps": []}]},
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises(WDLError):
+            workflow_from_dict(document)
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(WDLError):
+            workflow_from_dict(
+                {
+                    "name": "x",
+                    "steps": [
+                        {"parallel": "p", "branches": [[], [{"task": "t"}]]}
+                    ],
+                }
+            )
+
+    def test_step_name_colliding_with_virtual_node(self):
+        """A task literally named 'p.start' collides with the parallel
+        step's virtual node and must be rejected at build time."""
+        with pytest.raises(Exception):
+            workflow_from_dict(
+                {
+                    "name": "x",
+                    "steps": [
+                        {"task": "p.start"},
+                        {
+                            "parallel": "p",
+                            "branches": [[{"task": "a"}], [{"task": "b"}]],
+                        },
+                    ],
+                }
+            )
+
+
+class TestDataFlowThroughSteps:
+    def test_sequence_inside_branch_forwards_sizes(self):
+        dag = parse_workflow(
+            """
+name: flow
+steps:
+  - task: head
+    output_size: 4MB
+  - parallel: p
+    branches:
+      - - task: first
+          output_size: 2MB
+        - task: second
+          output_size: 1MB
+      - - task: other
+  - task: tail
+"""
+        )
+        # 'second' consumes only its chain predecessor.
+        assert dag.data_dependencies("second") == [("first", 2 * MB)]
+        # 'tail' consumes both branch exits.
+        deps = dict(dag.data_dependencies("tail"))
+        assert deps == {"second": 1 * MB, "other": 0.0}

@@ -1,0 +1,79 @@
+"""Unit tests for size/duration literal parsing."""
+
+import pytest
+
+from repro.wdl.units import UnitError, format_size, parse_duration, parse_size
+
+MB = 1024.0 * 1024.0
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [
+            ("2MB", 2 * MB),
+            ("2mb", 2 * MB),
+            ("512KB", 512 * 1024.0),
+            ("1.5GB", 1.5 * 1024**3),
+            ("100B", 100.0),
+            ("100", 100.0),
+            ("0", 0.0),
+            (" 3 MB ", 3 * MB),
+        ],
+    )
+    def test_literals(self, literal, expected):
+        assert parse_size(literal) == pytest.approx(expected)
+
+    def test_numbers_are_bytes(self):
+        assert parse_size(2048) == 2048.0
+        assert parse_size(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", ["", "MB", "2XB", "two MB", "-5MB"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(UnitError):
+            parse_size(bad)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(UnitError):
+            parse_size(-1)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [
+            ("200ms", 0.2),
+            ("1.5s", 1.5),
+            ("2m", 120.0),
+            ("1h", 3600.0),
+            ("50us", 5e-5),
+            ("3", 3.0),
+        ],
+    )
+    def test_literals(self, literal, expected):
+        assert parse_duration(literal) == pytest.approx(expected)
+
+    def test_numbers_are_seconds(self):
+        assert parse_duration(2) == 2.0
+
+    @pytest.mark.parametrize("bad", ["", "ms", "5 parsecs"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(UnitError):
+            parse_duration(bad)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (512, "512 B"),
+            (2 * 1024, "2.00 KB"),
+            (3 * MB, "3.00 MB"),
+            (1.5 * 1024**3, "1.50 GB"),
+        ],
+    )
+    def test_rendering(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_roundtrip(self):
+        assert parse_size(format_size(7 * MB).replace(" ", "")) == 7 * MB

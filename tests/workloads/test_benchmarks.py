@@ -1,0 +1,148 @@
+"""Unit tests for the 8 benchmark workloads."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    REAL_WORLD,
+    SCIENTIFIC,
+    build,
+    build_all,
+    genome,
+)
+
+MB = 1024.0 * 1024.0
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 8
+        assert len(SCIENTIFIC) == 4
+        assert len(REAL_WORLD) == 4
+
+    def test_build_by_name_and_abbrev(self):
+        assert build("cycles").name == "cycles"
+        assert build("Cyc").name == "cycles"
+        assert build("vid").name == "video-ffmpeg"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build("nope")
+
+    def test_build_all(self):
+        dags = build_all()
+        assert set(dags) == set(ALL_BENCHMARKS)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_every_benchmark_validates(self, name):
+        build(name).validate()
+
+    @pytest.mark.parametrize("name", SCIENTIFIC)
+    def test_scientific_workflows_have_about_50_nodes(self, name):
+        dag = build(name)
+        assert 45 <= len(dag.real_nodes()) <= 52
+
+    @pytest.mark.parametrize("name", REAL_WORLD)
+    def test_real_world_apps_are_small(self, name):
+        dag = build(name)
+        assert len(dag.real_nodes()) <= 12
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_single_entry_point(self, name):
+        dag = build(name)
+        real_sources = [
+            s for s in dag.sources() if not dag.node(s).is_virtual
+        ]
+        assert len(real_sources) == 1
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_not_a_simple_sequence(self, name):
+        """The paper studies complex DAGs, not function sequences —
+        every benchmark has some node with fan-out or fan-in (or a
+        mapped foreach step)."""
+        dag = build(name)
+        has_fanout = any(len(dag.successors(n)) > 1 for n in dag.node_names)
+        has_fanin = any(len(dag.predecessors(n)) > 1 for n in dag.node_names)
+        has_map = any(n.map_factor > 1 for n in dag.nodes)
+        assert has_fanout or has_fanin or has_map
+
+
+class TestCalibration:
+    """Fig. 5 anchor points from the paper."""
+
+    @staticmethod
+    def movement(dag):
+        mono = sum(
+            n.output_size
+            for n in dag.real_nodes()
+            if dag.data_consumers(n.name)
+        )
+        faas = sum(
+            n.output_size * (1 + len(dag.data_consumers(n.name)))
+            for n in dag.real_nodes()
+        )
+        return mono, faas
+
+    def test_cycles_calibration(self):
+        mono, faas = self.movement(build("cycles"))
+        assert mono / MB == pytest.approx(23.95, rel=0.1)
+        assert faas / MB == pytest.approx(1182.3, rel=0.25)
+
+    def test_video_calibration(self):
+        mono, faas = self.movement(build("video-ffmpeg"))
+        assert mono / MB == pytest.approx(4.23, rel=0.01)
+        assert faas / MB == pytest.approx(96.82, rel=0.05)
+
+    def test_faas_ordering_matches_paper(self):
+        """Table 4 orders HyperFlow transfer latency: Cyc >> Gen > Soy >
+        Vid > Epi-ish; the byte totals must preserve the big relations."""
+        faas = {
+            name: self.movement(build(name))[1]
+            for name in ALL_BENCHMARKS
+        }
+        assert faas["cycles"] > 2 * faas["genome"]
+        assert faas["genome"] > 2 * faas["soykb"]
+        assert faas["video-ffmpeg"] > faas["word-count"]
+        assert faas["word-count"] > faas["file-processing"]
+        assert faas["file-processing"] > faas["illegal-recognizer"]
+
+    def test_memory_hunger_ordering(self):
+        """SoyKB must be near-unreclaimable, Cycles lean (drives the
+        Table 4 reduction asymmetry through Eq. 1-2)."""
+        from repro.core import ReclamationConfig, workflow_quota
+
+        config = ReclamationConfig()
+        quota = {
+            name: workflow_quota(build(name), config)
+            for name in ("cycles", "soykb", "genome")
+        }
+        assert quota["soykb"] < 0.05 * quota["cycles"]
+        assert quota["genome"] < 0.1 * quota["cycles"]
+        assert quota["soykb"] < quota["genome"]
+
+
+class TestGenomeScaling:
+    @pytest.mark.parametrize("n", [10, 25, 50, 100, 200])
+    def test_scales_to_requested_node_count(self, n):
+        dag = genome(nodes=n)
+        dag.validate()
+        assert abs(len(dag.real_nodes()) - n) <= 3
+
+    def test_structure_preserved_at_scale(self):
+        """Scaling adds chromosome lanes (like real 1000-genome runs)."""
+        dag = genome(nodes=100)
+        assert dag.has_node("c0-fetch-chromosome")
+        assert dag.has_node("c1-individuals-merge")
+        individuals = [
+            n for n in dag.node_names
+            if "individuals-" in n and "merge" not in n
+        ]
+        assert len(individuals) > 50
+
+    def test_default_size_is_single_lane(self):
+        dag = genome(nodes=50)
+        assert dag.has_node("fetch-chromosome")
+        assert len(dag.sources()) == 1

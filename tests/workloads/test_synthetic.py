@@ -1,0 +1,112 @@
+"""Tests for the synthetic workflow generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import chain, diamond, fan, layered_random, tree
+
+MB = 1024.0 * 1024.0
+
+
+class TestChain:
+    def test_length_and_structure(self):
+        dag = chain(length=5)
+        assert len(dag.node_names) == 5
+        assert len(dag.edges) == 4
+        assert dag.sources() == ["f0"]
+        assert dag.sinks() == ["f4"]
+
+    def test_single_node(self):
+        dag = chain(length=1)
+        assert dag.sources() == dag.sinks() == ["f0"]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain(length=0)
+
+
+class TestFan:
+    def test_gathered_fan(self):
+        dag = fan(width=4)
+        assert len(dag.successors("hub")) == 4
+        assert len(dag.predecessors("gather")) == 4
+
+    def test_ungathered_fan(self):
+        dag = fan(width=3, gather=False)
+        assert len(dag.sinks()) == 3
+
+    def test_hub_data_fans_out(self):
+        dag = fan(width=2, hub_output=4 * MB)
+        for branch in dag.successors("hub"):
+            assert dag.edge("hub", branch).data_size == 4 * MB
+
+
+class TestDiamond:
+    def test_shape(self):
+        dag = diamond(width=3)
+        dag.validate()
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+
+class TestTree:
+    def test_node_count(self):
+        dag = tree(depth=3, fanout=2)
+        assert len(dag.node_names) == 1 + 2 + 4 + 8
+
+    def test_depth_zero_is_single_node(self):
+        assert len(tree(depth=0).node_names) == 1
+
+    def test_every_nonroot_has_one_parent(self):
+        dag = tree(depth=2, fanout=3)
+        for name in dag.node_names:
+            if name != "n0":
+                assert len(dag.predecessors(name)) == 1
+
+
+class TestLayeredRandom:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        layers=st.integers(1, 5),
+        width=st.integers(1, 5),
+        density=st.floats(0, 1),
+        seed=st.integers(0, 1000),
+    )
+    def test_always_valid_and_connected(self, layers, width, density, seed):
+        dag = layered_random(
+            layers=layers, width=width, density=density, seed=seed
+        )
+        dag.validate()
+        assert len(dag.node_names) == layers * width
+        # Every non-first-layer node is reachable.
+        for name in dag.node_names:
+            if not name.startswith("l0"):
+                assert dag.predecessors(name)
+
+    def test_deterministic_under_seed(self):
+        a = layered_random(seed=3)
+        b = layered_random(seed=3)
+        assert sorted(e.key for e in a.edges) == sorted(
+            e.key for e in b.edges
+        )
+
+    def test_different_seeds_differ(self):
+        a = layered_random(seed=1, layers=5, width=5)
+        b = layered_random(seed=2, layers=5, width=5)
+        assert sorted(e.key for e in a.edges) != sorted(
+            e.key for e in b.edges
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layered_random(layers=0)
+        with pytest.raises(ValueError):
+            layered_random(density=1.5)
+
+    def test_runs_end_to_end(self):
+        from repro.runner import run_workflow
+
+        dag = layered_random(layers=3, width=3, seed=11)
+        summary = run_workflow(dag, invocations=2, workers=3)
+        assert summary.completed == 2

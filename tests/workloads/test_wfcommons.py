@@ -1,0 +1,177 @@
+"""Tests for the WfCommons trace importer."""
+
+import json
+
+import pytest
+
+from repro.workloads import WfCommonsError, load_wfcommons
+
+MB = 1024.0 * 1024.0
+
+SAMPLE = {
+    "name": "epigenomics-sample",
+    "workflow": {
+        "tasks": [
+            {
+                "name": "fastqSplit",
+                "runtime": 2.5,
+                "parents": [],
+                "files": [
+                    {"link": "input", "name": "reads.fastq", "sizeInBytes": 8_000_000},
+                    {"link": "output", "name": "chunk1.fastq", "sizeInBytes": 4_000_000},
+                    {"link": "output", "name": "chunk2.fastq", "sizeInBytes": 4_000_000},
+                ],
+            },
+            {
+                "name": "map1",
+                "runtime": 10.0,
+                "memory": 256_000_000,
+                "parents": ["fastqSplit"],
+                "files": [
+                    {"link": "input", "name": "chunk1.fastq", "sizeInBytes": 4_000_000},
+                    {"link": "output", "name": "map1.out", "sizeInBytes": 1_000_000},
+                ],
+            },
+            {
+                "name": "map2",
+                "runtime": 11.0,
+                "parents": ["fastqSplit"],
+                "files": [
+                    {"link": "input", "name": "chunk2.fastq", "sizeInBytes": 4_000_000},
+                    {"link": "output", "name": "map2.out", "sizeInBytes": 1_200_000},
+                ],
+            },
+            {
+                "name": "merge",
+                "runtime": 3.0,
+                "parents": ["map1", "map2"],
+                "files": [
+                    {"link": "input", "name": "map1.out", "sizeInBytes": 1_000_000},
+                    {"link": "input", "name": "map2.out", "sizeInBytes": 1_200_000},
+                    {"link": "output", "name": "final.bam", "sizeInBytes": 2_000_000},
+                ],
+            },
+        ]
+    },
+}
+
+
+class TestLoadFromDict:
+    def test_structure(self):
+        dag = load_wfcommons(SAMPLE)
+        assert dag.name == "epigenomics-sample"
+        assert sorted(dag.node_names) == ["fastqSplit", "map1", "map2", "merge"]
+        assert dag.has_edge("fastqSplit", "map1")
+        assert dag.has_edge("map2", "merge")
+        dag.validate()
+
+    def test_runtimes_become_service_times(self):
+        dag = load_wfcommons(SAMPLE)
+        assert dag.node("map1").service_time == pytest.approx(10.0)
+
+    def test_edge_sizes_resolved_by_file_match(self):
+        dag = load_wfcommons(SAMPLE)
+        # map1 consumes only chunk1 of fastqSplit's two outputs.
+        assert dag.edge("fastqSplit", "map1").data_size == 4_000_000
+        assert dag.edge("map1", "merge").data_size == 1_000_000
+
+    def test_output_size_is_sum_of_output_files(self):
+        dag = load_wfcommons(SAMPLE)
+        assert dag.node("fastqSplit").output_size == 8_000_000
+
+    def test_memory_field_honored(self):
+        dag = load_wfcommons(SAMPLE, default_memory=64 * MB)
+        assert dag.node("map1").memory == 256_000_000
+        assert dag.node("map2").memory == 64 * MB
+
+    def test_jobs_key_and_legacy_size(self):
+        legacy = {
+            "name": "legacy",
+            "workflow": {
+                "jobs": [
+                    {"name": "a", "runtimeInSeconds": 1.0, "parents": [],
+                     "files": [{"link": "output", "name": "f", "size": 1024}]},
+                    {"name": "b", "parents": ["a"],
+                     "files": [{"link": "input", "name": "f", "size": 1024}]},
+                ]
+            },
+        }
+        dag = load_wfcommons(legacy)
+        assert dag.edge("a", "b").data_size == 1024
+        assert dag.node("b").service_time == pytest.approx(0.1)  # default
+
+    def test_control_only_dependency_falls_back_to_full_output(self):
+        doc = {
+            "name": "ctl",
+            "workflow": {
+                "tasks": [
+                    {"name": "a", "runtime": 1, "parents": [],
+                     "files": [{"link": "output", "name": "x", "sizeInBytes": 500}]},
+                    {"name": "b", "runtime": 1, "parents": ["a"], "files": []},
+                ]
+            },
+        }
+        dag = load_wfcommons(doc)
+        assert dag.edge("a", "b").data_size == 500
+
+
+class TestLoadFromFile:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(SAMPLE))
+        dag = load_wfcommons(path)
+        assert len(dag.node_names) == 4
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(WfCommonsError):
+            load_wfcommons(path)
+
+
+class TestValidation:
+    def test_no_tasks_rejected(self):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons({"workflow": {"tasks": []}})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons(
+                {"workflow": {"tasks": [
+                    {"name": "a", "runtime": 1, "parents": ["ghost"]}
+                ]}}
+            )
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons(
+                {"workflow": {"tasks": [
+                    {"name": "a", "runtime": 1, "parents": []},
+                    {"name": "a", "runtime": 1, "parents": []},
+                ]}}
+            )
+
+    def test_nameless_task_rejected(self):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons({"workflow": {"tasks": [{"runtime": 1}]}})
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(WfCommonsError):
+            load_wfcommons(
+                {"workflow": {"tasks": [
+                    {"name": "a", "runtime": -1, "parents": []}
+                ]}}
+            )
+
+
+class TestEndToEnd:
+    def test_trace_runs_on_the_simulator(self):
+        from repro.runner import run_workflow
+
+        dag = load_wfcommons(SAMPLE)
+        summary = run_workflow(dag, invocations=2, workers=3)
+        assert summary.completed == 2
