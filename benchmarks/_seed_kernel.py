@@ -22,18 +22,8 @@ Example
 
 from __future__ import annotations
 
-import sys
-from heapq import heappop, heappush
+import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
-
-# CPython refcount introspection lets ``step()`` prove that a processed
-# Timeout has no remaining referents and can be recycled.  On runtimes
-# without ``sys.getrefcount`` the free-list simply stays empty.
-_getrefcount = getattr(sys, "getrefcount", None)
-
-# Upper bound on each per-environment free-list; beyond this, processed
-# objects are left for the garbage collector as usual.
-_POOL_CAP = 128
 
 __all__ = [
     "Environment",
@@ -155,39 +145,14 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        # Born triggered: initialize every slot directly rather than
-        # paying for Event.__init__ and then overwriting half of it.
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        self.env = env
-        self.callbacks = []
-        self._state = TRIGGERED
-        self._value = value
-        self._ok = True
+        super().__init__(env)
         self.delay = delay
-        env._schedule(self, delay=delay)
-
-
-class _Resume:
-    """Minimal queue entry that re-enters one callback without a full Event.
-
-    The kernel schedules these wherever it used to allocate a throwaway
-    trampoline :class:`Event` (process bootstrap, resuming a process that
-    yielded an already-processed event, interrupt delivery).  A ``_Resume``
-    never escapes the kernel, so ``step()`` recycles it through a
-    per-environment free-list.  It quacks like a triggered event for the
-    one consumer it has: ``Process._resume`` reads ``ok`` and ``_value``.
-    """
-
-    __slots__ = ("_callback", "ok", "_value")
-
-    def __init__(self, callback: Callable[["_Resume"], None], ok: bool, value: Any):
-        self._callback = callback
-        self.ok = ok
+        self._ok = True
         self._value = value
-
-    def _process_callbacks(self) -> None:
-        self._callback(self)
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
 
 
 class _ConditionValue(dict):
@@ -203,21 +168,6 @@ class _Condition(Event):
         super().__init__(env)
         self._events = list(events)
         self._count = 0
-        if not self._events:
-            self._on_empty()
-            return
-        if len(self._events) == 1:
-            # Single-event fast path: AllOf and AnyOf degenerate to the
-            # same "mirror the one child" behavior, so skip the counting
-            # machinery and the _collect_values scan entirely.
-            event = self._events[0]
-            if event.env is not env:
-                raise SimulationError("events from different environments")
-            if event.processed:
-                self._mirror_single(event)
-            else:
-                event.callbacks.append(self._mirror_single)
-            return
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("events from different environments")
@@ -225,20 +175,9 @@ class _Condition(Event):
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
-
-    def _on_empty(self) -> None:
-        """Hook for the zero-event case; AllOf succeeds, AnyOf raises."""
-        self.succeed(_ConditionValue())
-
-    def _mirror_single(self, event: Event) -> None:
-        if self._state != PENDING:
-            return
-        if event.ok:
-            value = _ConditionValue()
-            value[event] = event._value
-            self.succeed(value)
-        else:
-            self.fail(event._value)
+        # A condition over zero events is immediately true.
+        if not self._events and self._state == PENDING:
+            self.succeed(_ConditionValue())
 
     def _collect_values(self) -> _ConditionValue:
         result = _ConditionValue()
@@ -270,17 +209,9 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Fires as soon as any child event fires.
-
-    An ``AnyOf`` over zero events is rejected: "any of nothing" can never
-    fire, and silently succeeding (the ``AllOf`` vacuous-truth semantics)
-    hides bugs where a waiter list was accidentally empty.
-    """
+    """Fires as soon as any child event fires."""
 
     __slots__ = ()
-
-    def _on_empty(self) -> None:
-        raise SimulationError("AnyOf requires at least one event")
 
     def _check(self, event: Event) -> None:
         if self._state != PENDING:
@@ -313,7 +244,9 @@ class Process(Event):
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the process at the current simulation time.
-        env._schedule_resume(self._resume, True, None)
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -330,7 +263,9 @@ class Process(Event):
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._target = None
-        self.env._schedule_resume(self._resume, False, Interrupt(cause))
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
         env = self.env
@@ -368,12 +303,14 @@ class Process(Event):
                 f"process {self.name!r} yielded {next_target!r}, "
                 "which is not an Event"
             )
-        if next_target._state == PROCESSED:
-            # The event already fired; resume immediately (same timestep)
-            # through a pooled _Resume instead of a trampoline Event.
-            env._schedule_resume(
-                self._resume, next_target._ok, next_target._value
-            )
+        if next_target.processed:
+            # The event already fired; resume immediately (same timestep).
+            immediate = Event(env)
+            immediate.callbacks.append(self._resume)
+            if next_target.ok:
+                immediate.succeed(next_target._value)
+            else:
+                immediate.fail(next_target._value)
         else:
             self._target = next_target
             next_target.callbacks.append(self._resume)
@@ -382,27 +319,12 @@ class Process(Event):
 class Environment:
     """Holds the event queue and the simulation clock."""
 
-    __slots__ = (
-        "_now",
-        "_queue",
-        "_eid",
-        "_active_process",
-        "_crashed",
-        "_timeout_pool",
-        "_resume_pool",
-    )
-
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: list[tuple[Process, BaseException]] = []
-        # Free-lists for the two hottest allocations: Timeout events
-        # (recycled only once provably unreferenced) and kernel-internal
-        # _Resume entries (never escape, always recycled).
-        self._timeout_pool: list[Timeout] = []
-        self._resume_pool: list[_Resume] = []
 
     # -- clock -------------------------------------------------------
     @property
@@ -418,18 +340,6 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        pool = self._timeout_pool
-        if pool:
-            if delay < 0:
-                raise SimulationError(f"negative timeout delay: {delay}")
-            event = pool.pop()
-            event._state = TRIGGERED
-            event._ok = True
-            event._value = value
-            event.delay = delay
-            self._eid += 1
-            heappush(self._queue, (self._now + delay, self._eid, event))
-            return event
         return Timeout(self, delay, value)
 
     def process(
@@ -446,26 +356,7 @@ class Environment:
     # -- scheduling ----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._eid += 1
-        heappush(self._queue, (self._now + delay, self._eid, event))
-
-    def _schedule_resume(
-        self, callback: Callable[[Any], None], ok: bool, value: Any
-    ) -> None:
-        """Schedule a bare callback re-entry at the current time.
-
-        Replaces the old pattern of allocating a trampoline ``Event`` +
-        callback list + succeed/fail just to hop through the queue.
-        """
-        pool = self._resume_pool
-        if pool:
-            entry = pool.pop()
-            entry._callback = callback
-            entry.ok = ok
-            entry._value = value
-        else:
-            entry = _Resume(callback, ok, value)
-        self._eid += 1
-        heappush(self._queue, (self._now, self._eid, entry))
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -475,7 +366,7 @@ class Environment:
         """Process the next event; raises if the queue is empty."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _, event = heappop(self._queue)
+        when, _, event = heapq.heappop(self._queue)
         self._now = when
         event._process_callbacks()
         if self._crashed:
@@ -483,27 +374,6 @@ class Environment:
             raise SimulationError(
                 f"process {process.name!r} crashed at t={self._now}"
             ) from error
-        self._recycle(event)
-
-    def _recycle(self, event: Event) -> None:
-        """Return a processed queue entry to its free-list when safe.
-
-        ``_Resume`` entries are kernel-internal and always recyclable.  A
-        ``Timeout`` is recycled only when the refcount proves this frame
-        holds the sole remaining references (nobody kept the object, put
-        it in a condition's ``_events``, or stored it in a result dict).
-        """
-        cls = type(event)
-        if cls is _Resume:
-            if len(self._resume_pool) < _POOL_CAP:
-                self._resume_pool.append(event)
-        elif (
-            cls is Timeout
-            and _getrefcount is not None
-            and len(self._timeout_pool) < _POOL_CAP
-            and _getrefcount(event) == 3  # self._recycle arg + local + getrefcount arg
-        ):
-            self._timeout_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -511,77 +381,27 @@ class Environment:
         ``until`` may be a simulation time (run up to and including that
         time) or an :class:`Event` (run until it has been processed, then
         return its value).
-
-        The clock is monotonic: a numeric ``until`` in the past (e.g. a
-        second ``run(until=...)`` call with a smaller deadline after the
-        first set ``now`` to its deadline) is a no-op — nothing is
-        processed and ``now`` is left where it was, never rewound.
         """
-        # The dispatch body below is step() inlined (including the
-        # free-list recycling) — the per-event method-call overhead is
-        # measurable at millions of events per run.  Keep the three
-        # copies in sync with step()/_recycle().
-        queue = self._queue
-        crashed = self._crashed
-        resume_pool = self._resume_pool
-        timeout_pool = self._timeout_pool
         if isinstance(until, Event):
             stop_event = until
             if not stop_event.processed:
                 # run() is a waiter: a failure of the awaited event is
                 # handled (re-raised below), not an unhandled crash.
                 stop_event.callbacks.append(lambda _event: None)
-            while stop_event._state != PROCESSED:
-                if not queue:
+            while not stop_event.processed:
+                if not self._queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired"
                     )
-                when, _, event = heappop(queue)
-                self._now = when
-                event._process_callbacks()
-                if crashed:
-                    process, error = crashed.pop()
-                    raise SimulationError(
-                        f"process {process.name!r} crashed at t={self._now}"
-                    ) from error
-                cls = type(event)
-                if cls is _Resume:
-                    if len(resume_pool) < _POOL_CAP:
-                        resume_pool.append(event)
-                elif (
-                    cls is Timeout
-                    and _getrefcount is not None
-                    and len(timeout_pool) < _POOL_CAP
-                    and _getrefcount(event) == 2  # loop local + getrefcount arg
-                ):
-                    timeout_pool.append(event)
+                self.step()
             if stop_event.ok:
                 return stop_event._value
             raise stop_event._value
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
-            # Deadline already in the past: never rewind the clock.
-            return None
-        while queue and queue[0][0] <= deadline:
-            when, _, event = heappop(queue)
-            self._now = when
-            event._process_callbacks()
-            if crashed:
-                process, error = crashed.pop()
-                raise SimulationError(
-                    f"process {process.name!r} crashed at t={self._now}"
-                ) from error
-            cls = type(event)
-            if cls is _Resume:
-                if len(resume_pool) < _POOL_CAP:
-                    resume_pool.append(event)
-            elif (
-                cls is Timeout
-                and _getrefcount is not None
-                and len(timeout_pool) < _POOL_CAP
-                and _getrefcount(event) == 2  # loop local + getrefcount arg
-            ):
-                timeout_pool.append(event)
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
         if deadline != float("inf"):
             self._now = deadline
         return None

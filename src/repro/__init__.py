@@ -68,6 +68,7 @@ from .metrics import (
     percentile,
     TransferEvent,
 )
+from .parallel import ParallelRunner, derive_seed
 from .sim import (
     Cluster,
     ClusterConfig,
@@ -121,6 +122,8 @@ __all__ = [
     "MonolithicSystem",
     "NodeConfig",
     "OpenLoopClient",
+    "ParallelRunner",
+    "derive_seed",
     "parse_workflow",
     "percentile",
     "per_node_quotas",

@@ -26,7 +26,7 @@ from ..core import (
 from ..dag import estimate_edge_weights
 from ..sim import Cluster, ClusterConfig, ContainerSpec, Environment, MB
 from ..workloads import build
-from .common import ExperimentResult, make_cluster
+from .common import ExperimentResult, ParallelRunner, make_cluster
 
 __all__ = ["run"]
 
@@ -51,97 +51,105 @@ def _mean_latency(records):
     return sum(r.latency for r in warm) / len(warm)
 
 
-def _partition_strategy(invocations: int):
-    rows = []
-    for strategy in ("greedy (Alg. 1)", "hash", "singleton"):
-        cluster = make_cluster()
-        system, scheduler = _grouped_system(cluster)
-        dag = build("epigenomics")
-        if strategy.startswith("greedy"):
-            _deploy_grouped(system, scheduler, dag)
-        elif strategy == "hash":
-            placement = hash_partition(dag, cluster.worker_names())
-            _, quotas, _ = scheduler.schedule(dag)
-            system.deploy(dag, placement, quotas=quotas)
-        else:
-            workers = cluster.worker_names()
-            assignment = {
-                name: workers[i % len(workers)]
-                for i, name in enumerate(dag.node_names)
-            }
-            system.deploy(
-                dag, Placement(workflow=dag.name, assignment=assignment)
-            )
-        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
-        local = 100 * system.metrics.local_fraction(dag.name)
-        rows.append(
-            ["partition strategy", strategy, round(latency, 3), f"{local:.0f}%"]
-        )
-    return rows
-
-
-def _faastore_on_off(invocations: int):
-    rows = []
-    for label, policy in (("FaaStore on", None), ("FaaStore off", RemoteStorePolicy)):
-        cluster = make_cluster()
-        system, scheduler = _grouped_system(cluster, policy=policy)
-        dag = build("cycles")
+def _partition_cell(strategy: str, invocations: int) -> list:
+    cluster = make_cluster()
+    system, scheduler = _grouped_system(cluster)
+    dag = build("epigenomics")
+    if strategy.startswith("greedy"):
         _deploy_grouped(system, scheduler, dag)
-        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
-        local = 100 * system.metrics.local_fraction(dag.name)
-        rows.append(
-            ["FaaStore (fixed partition)", label, round(latency, 3), f"{local:.0f}%"]
+    elif strategy == "hash":
+        placement = hash_partition(dag, cluster.worker_names())
+        _, quotas, _ = scheduler.schedule(dag)
+        system.deploy(dag, placement, quotas=quotas)
+    else:
+        workers = cluster.worker_names()
+        assignment = {
+            name: workers[i % len(workers)]
+            for i, name in enumerate(dag.node_names)
+        }
+        system.deploy(
+            dag, Placement(workflow=dag.name, assignment=assignment)
         )
-    return rows
+    latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+    local = 100 * system.metrics.local_fraction(dag.name)
+    return ["partition strategy", strategy, round(latency, 3), f"{local:.0f}%"]
 
 
-def _mu_sweep(invocations: int):
-    rows = []
-    for mu_mb in (0, 32, 96, 144):
-        cluster = make_cluster()
-        reclamation = ReclamationConfig(
-            container_memory=cluster.config.container.memory_limit,
-            mu=mu_mb * MB,
-        )
-        system, scheduler = _grouped_system(cluster, reclamation=reclamation)
-        dag = build("epigenomics")
-        _deploy_grouped(system, scheduler, dag)
-        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
-        local = 100 * system.metrics.local_fraction(dag.name)
-        rows.append(
-            ["reclamation margin", f"mu={mu_mb}MB", round(latency, 3), f"{local:.0f}%"]
-        )
-    return rows
+def _faastore_cell(label: str, invocations: int) -> list:
+    policy = None if label == "FaaStore on" else RemoteStorePolicy
+    cluster = make_cluster()
+    system, scheduler = _grouped_system(cluster, policy=policy)
+    dag = build("cycles")
+    _deploy_grouped(system, scheduler, dag)
+    latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+    local = 100 * system.metrics.local_fraction(dag.name)
+    return [
+        "FaaStore (fixed partition)", label, round(latency, 3), f"{local:.0f}%"
+    ]
 
 
-def _db_concurrency(invocations: int):
-    rows = []
-    for concurrency in (1, 4, 16):
-        cluster = Cluster(
-            Environment(),
-            ClusterConfig(
-                workers=7,
-                storage_bandwidth=50 * MB,
-                container=ContainerSpec(cold_start_time=0.5),
-                db_concurrency=concurrency,
-            ),
-        )
-        system = HyperFlowServerlessSystem(cluster, EngineConfig(ship_data=True))
-        dag = build("genome")
-        system.register(dag, hash_partition(dag, cluster.worker_names()))
-        latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
-        rows.append(
-            ["remote-store concurrency", f"K={concurrency}", round(latency, 3), "-"]
-        )
-    return rows
+def _mu_cell(mu_mb: int, invocations: int) -> list:
+    cluster = make_cluster()
+    reclamation = ReclamationConfig(
+        container_memory=cluster.config.container.memory_limit,
+        mu=mu_mb * MB,
+    )
+    system, scheduler = _grouped_system(cluster, reclamation=reclamation)
+    dag = build("epigenomics")
+    _deploy_grouped(system, scheduler, dag)
+    latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+    local = 100 * system.metrics.local_fraction(dag.name)
+    return [
+        "reclamation margin", f"mu={mu_mb}MB", round(latency, 3), f"{local:.0f}%"
+    ]
 
 
-def run(invocations: int = 4) -> ExperimentResult:
-    rows = []
-    rows += _partition_strategy(invocations)
-    rows += _faastore_on_off(invocations)
-    rows += _mu_sweep(invocations)
-    rows += _db_concurrency(invocations)
+def _db_cell(concurrency: int, invocations: int) -> list:
+    cluster = Cluster(
+        Environment(),
+        ClusterConfig(
+            workers=7,
+            storage_bandwidth=50 * MB,
+            container=ContainerSpec(cold_start_time=0.5),
+            db_concurrency=concurrency,
+        ),
+    )
+    system = HyperFlowServerlessSystem(cluster, EngineConfig(ship_data=True))
+    dag = build("genome")
+    system.register(dag, hash_partition(dag, cluster.worker_names()))
+    latency = _mean_latency(run_closed_loop(system, dag.name, invocations))
+    return [
+        "remote-store concurrency", f"K={concurrency}", round(latency, 3), "-"
+    ]
+
+
+_AXES = {
+    "partition": _partition_cell,
+    "faastore": _faastore_cell,
+    "mu": _mu_cell,
+    "db": _db_cell,
+}
+
+
+def _ablation_cell(task: tuple) -> list:
+    """Dispatch one (axis, variant) ablation — each cell is a fresh,
+    independent simulation, so the grid parallelizes across a pool."""
+    axis, variant, invocations = task
+    return _AXES[axis](variant, invocations)
+
+
+def run(invocations: int = 4, jobs: int = 1) -> ExperimentResult:
+    tasks = [
+        ("partition", strategy, invocations)
+        for strategy in ("greedy (Alg. 1)", "hash", "singleton")
+    ]
+    tasks += [
+        ("faastore", label, invocations)
+        for label in ("FaaStore on", "FaaStore off")
+    ]
+    tasks += [("mu", mu_mb, invocations) for mu_mb in (0, 32, 96, 144)]
+    tasks += [("db", concurrency, invocations) for concurrency in (1, 4, 16)]
+    rows = ParallelRunner(jobs).map(_ablation_cell, tasks)
     notes = [
         "greedy grouping beats hash/singleton on the chain-heavy benchmark; "
         "FaaStore provides the data-plane win at a fixed partition; "

@@ -9,8 +9,11 @@ records.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
+
+from ..parallel import add_jobs_argument
 
 from . import (
     fig04_master_overhead,
@@ -77,6 +80,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small invocation counts for a fast smoke pass",
     )
+    add_jobs_argument(parser)
     parser.add_argument(
         "--csv",
         metavar="DIR",
@@ -102,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {k: v for k, v in kwargs.items() if v is not None}
         if name == "fig12" and args.quick:
             kwargs.setdefault("bandwidths", (25 * 1024 * 1024, 100 * 1024 * 1024))
+        if args.jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+            # Sweep-style experiments fan their independent cells out
+            # across a process pool; the rest ignore --jobs.
+            kwargs["jobs"] = args.jobs
         result = runner(**kwargs)
         print(result.format())
         if args.chart:

@@ -22,10 +22,13 @@ from ..core import (
     hash_partition,
 )
 from ..dag import WorkflowDAG
+from ..parallel import ParallelRunner, derive_seed
 from ..sim import MB, Cluster, ClusterConfig, Environment
 
 __all__ = [
     "ExperimentResult",
+    "ParallelRunner",
+    "derive_seed",
     "make_cluster",
     "make_faasflow",
     "make_hyperflow",

@@ -19,7 +19,9 @@ from ..workloads import BENCHMARKS, build
 from .common import (
     ExperimentResult,
     MB,
+    ParallelRunner,
     deploy_with_feedback,
+    derive_seed,
     make_cluster,
     make_faasflow,
     make_hyperflow,
@@ -32,45 +34,68 @@ DEFAULT_BANDWIDTHS = (25 * MB, 50 * MB, 75 * MB, 100 * MB)
 DEFAULT_RATES = (2.0, 4.0, 6.0, 8.0)
 
 
+def _sweep_cell(task: tuple) -> tuple[float, float]:
+    """One independent sweep point: both systems at (name, bw, rate).
+
+    Module-level and fed by a plain tuple so a ParallelRunner can ship
+    it to a worker process.  Both systems see the same arrival process
+    (same derived seed) — the comparison stays paired.
+    """
+    name, bandwidth, rate, invocations, seed = task
+    cluster_m = make_cluster(storage_bandwidth=bandwidth)
+    hyper = make_hyperflow(cluster_m, ship_data=True)
+    dag_m = build(name)
+    register_hyperflow(hyper, dag_m)
+    run_open_loop(hyper, name, invocations, rate, seed=seed)
+    hyper_p99 = hyper.metrics.tail_latency(name, q=99)
+
+    cluster_w = make_cluster(storage_bandwidth=bandwidth)
+    faasflow, scheduler = make_faasflow(cluster_w, ship_data=True)
+    dag_w = build(name)
+    deploy_with_feedback(faasflow, scheduler, dag_w, warmup_invocations=1)
+    faasflow.metrics.clear()
+    run_open_loop(faasflow, name, invocations, rate, seed=seed)
+    faas_p99 = faasflow.metrics.tail_latency(name, q=99)
+    return hyper_p99, faas_p99
+
+
 def run(
     invocations: int = 30,
     benchmarks: tuple[str, ...] = ("genome", "video-ffmpeg"),
     bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
     rates: tuple[float, ...] = DEFAULT_RATES,
+    jobs: int = 1,
+    seed: int = 13,
 ) -> ExperimentResult:
+    tasks = [
+        (
+            name,
+            bandwidth,
+            rate,
+            invocations,
+            derive_seed(seed, name, bandwidth / MB, rate),
+        )
+        for name in benchmarks
+        for bandwidth in bandwidths
+        for rate in rates
+    ]
+    results = ParallelRunner(jobs).map(_sweep_cell, tasks)
     rows = []
     series: dict[tuple, float] = {}
-    for name in benchmarks:
-        for bandwidth in bandwidths:
-            for rate in rates:
-                cluster_m = make_cluster(storage_bandwidth=bandwidth)
-                hyper = make_hyperflow(cluster_m, ship_data=True)
-                dag_m = build(name)
-                register_hyperflow(hyper, dag_m)
-                run_open_loop(hyper, name, invocations, rate)
-                hyper_p99 = hyper.metrics.tail_latency(name, q=99)
-
-                cluster_w = make_cluster(storage_bandwidth=bandwidth)
-                faasflow, scheduler = make_faasflow(cluster_w, ship_data=True)
-                dag_w = build(name)
-                deploy_with_feedback(
-                    faasflow, scheduler, dag_w, warmup_invocations=1
-                )
-                faasflow.metrics.clear()
-                run_open_loop(faasflow, name, invocations, rate)
-                faas_p99 = faasflow.metrics.tail_latency(name, q=99)
-
-                series[(name, bandwidth / MB, rate, "hyper")] = hyper_p99
-                series[(name, bandwidth / MB, rate, "faasflow")] = faas_p99
-                rows.append(
-                    [
-                        BENCHMARKS[name].abbrev,
-                        int(bandwidth / MB),
-                        rate,
-                        round(hyper_p99, 2),
-                        round(faas_p99, 2),
-                    ]
-                )
+    for (name, bandwidth, rate, _, _), (hyper_p99, faas_p99) in zip(
+        tasks, results
+    ):
+        series[(name, bandwidth / MB, rate, "hyper")] = hyper_p99
+        series[(name, bandwidth / MB, rate, "faasflow")] = faas_p99
+        rows.append(
+            [
+                BENCHMARKS[name].abbrev,
+                int(bandwidth / MB),
+                rate,
+                round(hyper_p99, 2),
+                round(faas_p99, 2),
+            ]
+        )
     notes = _bandwidth_equivalence_notes(series, benchmarks, rates)
     return ExperimentResult(
         experiment="fig12",

@@ -15,7 +15,9 @@ from ..workloads import ALL_BENCHMARKS, BENCHMARKS, build
 from .common import (
     ExperimentResult,
     MB,
+    ParallelRunner,
     deploy_with_feedback,
+    derive_seed,
     make_cluster,
     make_faasflow,
     make_hyperflow,
@@ -29,32 +31,52 @@ def _p99(system, name: str) -> float:
     return system.metrics.tail_latency(name, q=99)
 
 
+def _benchmark_cell(task: tuple) -> tuple[float, int, float, int]:
+    """Both systems on one benchmark — independent, pool-shippable."""
+    name, invocations, rate_per_minute, bandwidth, seed = task
+    cluster_m = make_cluster(storage_bandwidth=bandwidth)
+    hyper = make_hyperflow(cluster_m, ship_data=True)
+    dag_m = build(name)
+    register_hyperflow(hyper, dag_m)
+    run_open_loop(hyper, name, invocations, rate_per_minute, seed=seed)
+    hyper_p99 = _p99(hyper, name)
+    hyper_timeouts = len(hyper.metrics.timeouts(name))
+
+    cluster_w = make_cluster(storage_bandwidth=bandwidth)
+    faasflow, scheduler = make_faasflow(cluster_w, ship_data=True)
+    dag_w = build(name)
+    deploy_with_feedback(faasflow, scheduler, dag_w, warmup_invocations=1)
+    faasflow.metrics.clear()
+    run_open_loop(faasflow, name, invocations, rate_per_minute, seed=seed)
+    faas_p99 = _p99(faasflow, name)
+    faas_timeouts = len(faasflow.metrics.timeouts(name))
+    return hyper_p99, hyper_timeouts, faas_p99, faas_timeouts
+
+
 def run(
     invocations: int = 40,
     rate_per_minute: float = 6.0,
     bandwidth: float = 50 * MB,
     benchmarks: list[str] | None = None,
+    jobs: int = 1,
+    seed: int = 13,
 ) -> ExperimentResult:
     names = benchmarks or ALL_BENCHMARKS
+    tasks = [
+        (
+            name,
+            invocations,
+            rate_per_minute,
+            bandwidth,
+            derive_seed(seed, name, bandwidth / MB, rate_per_minute),
+        )
+        for name in names
+    ]
+    results = ParallelRunner(jobs).map(_benchmark_cell, tasks)
     rows = []
-    for name in names:
-        cluster_m = make_cluster(storage_bandwidth=bandwidth)
-        hyper = make_hyperflow(cluster_m, ship_data=True)
-        dag_m = build(name)
-        register_hyperflow(hyper, dag_m)
-        run_open_loop(hyper, name, invocations, rate_per_minute)
-        hyper_p99 = _p99(hyper, name)
-        hyper_timeouts = len(hyper.metrics.timeouts(name))
-
-        cluster_w = make_cluster(storage_bandwidth=bandwidth)
-        faasflow, scheduler = make_faasflow(cluster_w, ship_data=True)
-        dag_w = build(name)
-        deploy_with_feedback(faasflow, scheduler, dag_w, warmup_invocations=1)
-        faasflow.metrics.clear()
-        run_open_loop(faasflow, name, invocations, rate_per_minute)
-        faas_p99 = _p99(faasflow, name)
-        faas_timeouts = len(faasflow.metrics.timeouts(name))
-
+    for name, (hyper_p99, hyper_timeouts, faas_p99, faas_timeouts) in zip(
+        names, results
+    ):
         reduction = 100 * (1 - faas_p99 / hyper_p99) if hyper_p99 else 0.0
         rows.append(
             [

@@ -14,43 +14,60 @@ from __future__ import annotations
 import math
 
 from ..workloads import genome
-from .common import ExperimentResult, make_cluster, make_faasflow
+from .common import (
+    ExperimentResult,
+    ParallelRunner,
+    make_cluster,
+    make_faasflow,
+)
 
 __all__ = ["run"]
 
 DEFAULT_SIZES = (10, 25, 50, 100, 200)
 
 
+def _size_cell(task: tuple) -> tuple[float, float, int]:
+    """Time the grouping pass for one workflow size (pool-shippable)."""
+    size, repeats = task
+    cluster = make_cluster()
+    _, scheduler = make_faasflow(cluster, ship_data=True)
+    best_time = math.inf
+    memory_peak = 0.0
+    iterations = 0
+    for _ in range(repeats):
+        dag = genome(nodes=size)
+        # Lean-memory variant: Genome's production memory profile
+        # starves the quota and stops merging after a handful of
+        # iterations, which would measure an early-exit rather than
+        # the algorithm.  The scalability question is how grouping
+        # cost grows when the merge loop actually runs ~n times.
+        for node in dag.real_nodes():
+            node.memory = 64 * 1024 * 1024
+        from ..dag import estimate_edge_weights
+
+        estimate_edge_weights(dag, bandwidth=cluster.config.storage_bandwidth)
+        _, _, report = scheduler.schedule(dag, force_grouping=True)
+        best_time = min(best_time, report.wall_time)
+        memory_peak = max(memory_peak, report.memory_peak)
+        if report.grouping:
+            iterations = report.grouping.iterations
+    return best_time, memory_peak, iterations
+
+
 def run(
-    sizes: tuple[int, ...] = DEFAULT_SIZES, repeats: int = 3
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repeats: int = 3,
+    jobs: int = 1,
 ) -> ExperimentResult:
+    # Unlike the simulated-time sweeps, this experiment measures real
+    # wall time; with --jobs the sizes still run on separate cores, but
+    # contention can inflate individual timings on small machines.
+    results = ParallelRunner(jobs).map(
+        _size_cell, [(size, repeats) for size in sizes]
+    )
     rows = []
     times: dict[int, float] = {}
-    for size in sizes:
-        cluster = make_cluster()
-        _, scheduler = make_faasflow(cluster, ship_data=True)
-        best_time = math.inf
-        memory_peak = 0.0
-        iterations = 0
-        for _ in range(repeats):
-            dag = genome(nodes=size)
-            # Lean-memory variant: Genome's production memory profile
-            # starves the quota and stops merging after a handful of
-            # iterations, which would measure an early-exit rather than
-            # the algorithm.  The scalability question is how grouping
-            # cost grows when the merge loop actually runs ~n times.
-            for node in dag.real_nodes():
-                node.memory = 64 * 1024 * 1024
-            from ..dag import estimate_edge_weights
-
-            estimate_edge_weights(
-                dag, bandwidth=cluster.config.storage_bandwidth
-            )
-            _, _, report = scheduler.schedule(dag, force_grouping=True)
-            best_time = min(best_time, report.wall_time)
-            memory_peak = max(memory_peak, report.memory_peak)
-            if report.grouping:
-                iterations = report.grouping.iterations
+    for size, (best_time, memory_peak, iterations) in zip(sizes, results):
         times[size] = best_time
         rows.append(
             [

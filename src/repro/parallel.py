@@ -1,0 +1,163 @@
+"""Process-pool experiment harness: fan independent simulations across cores.
+
+Every reproduction figure and benchmark runs a grid of *fully
+independent* simulations — (benchmark x bandwidth x rate) sweep cells,
+trial repetitions, workflow sizes.  Each cell builds its own
+:class:`~repro.sim.kernel.Environment`, so nothing is shared and the
+grid parallelizes embarrassingly.  :class:`ParallelRunner` fans such a
+grid out over a :class:`concurrent.futures.ProcessPoolExecutor` while
+keeping the results **bit-identical to serial execution**:
+
+- results are merged back in task order, never completion order;
+- randomness is keyed to the task, not the worker: derive each task's
+  seed with :func:`derive_seed` from the experiment's base seed and the
+  task's identity, so the same task gets the same seed no matter which
+  process runs it (or whether a pool is used at all);
+- ``jobs=1`` (the default) runs everything in-process with no executor,
+  and pool-infrastructure failures (a sandbox that forbids ``fork``, a
+  worker killed by the OOM killer) degrade gracefully to the same
+  in-process path.
+
+Task functions must be module-level (picklable) and their task payloads
+plain picklable data.  Exceptions raised *by the task itself* propagate
+to the caller in both modes; only executor-infrastructure errors trigger
+the serial fallback.
+
+Example
+-------
+>>> from repro.parallel import ParallelRunner, derive_seed
+>>> runner = ParallelRunner(jobs=4)
+>>> tasks = [("genome", bw, derive_seed(13, "genome", bw)) for bw in (25, 50)]
+>>> # results = runner.map(run_cell, tasks)   # same order as ``tasks``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "ParallelRunner",
+    "derive_seed",
+    "resolve_jobs",
+    "add_jobs_argument",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def derive_seed(base_seed: int, *key: Any) -> int:
+    """A deterministic 63-bit seed for the task identified by ``key``.
+
+    Stable across processes and Python invocations (``PYTHONHASHSEED``
+    has no effect: the digest is over the ``repr`` of primitives, not
+    ``hash()``).  Use primitive key parts (str/int/float/tuples thereof)
+    whose ``repr`` is stable.
+    """
+    material = repr((int(base_seed), key)).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _jobs_type(text: str) -> int:
+    import argparse
+
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid jobs count {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
+def add_jobs_argument(parser) -> None:
+    """Attach the standard ``--jobs N`` option to an argparse parser."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=1,
+        metavar="N",
+        help="run independent simulations on N worker processes "
+        "(0 = all cores; default 1 = in-process serial)",
+    )
+
+
+class ParallelRunner:
+    """Run independent tasks across a process pool, results in task order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``1`` (default) executes in-process with
+        no pool; ``0`` or ``None`` uses every core.
+    fallback_serial:
+        When true (default), failures of the pool *infrastructure* —
+        not of the tasks — rerun the batch in-process instead of
+        raising, so ``--jobs`` can never make an experiment less
+        reliable than serial mode.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1, fallback_serial: bool = True):
+        self.jobs = resolve_jobs(jobs)
+        self.fallback_serial = fallback_serial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelRunner(jobs={self.jobs})"
+
+    def map(
+        self, fn: Callable[[_T], _R], tasks: Iterable[_T]
+    ) -> list[_R]:
+        """Apply ``fn`` to every task; the result list matches task order.
+
+        Serial and parallel modes produce identical results for
+        deterministic ``fn`` because nothing about the execution
+        schedule leaks into the output: no shared state, no
+        completion-order merging, no worker-identity-dependent seeding.
+        """
+        task_list = list(tasks)
+        workers = min(self.jobs, len(task_list))
+        if workers <= 1:
+            return [fn(task) for task in task_list]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, task_list))
+        except (BrokenProcessPool, OSError, ImportError, PermissionError):
+            # Pool infrastructure failed (fork unavailable, worker
+            # killed, fd exhaustion...) — not a task error.
+            if not self.fallback_serial:
+                raise
+            return [fn(task) for task in task_list]
+
+    def starmap(
+        self, fn: Callable[..., _R], tasks: Iterable[Sequence[Any]]
+    ) -> list[_R]:
+        """Like :meth:`map`, unpacking each task as positional args."""
+        return self.map(_Star(fn), tasks)
+
+
+class _Star:
+    """Picklable argument-unpacking wrapper for :meth:`ParallelRunner.starmap`."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, task: Sequence[Any]) -> Any:
+        return self.fn(*task)

@@ -28,11 +28,12 @@ from .core import (
     Tracer,
     hash_partition,
 )
+from .parallel import ParallelRunner, add_jobs_argument, derive_seed
 from .sim import Cluster, ClusterConfig, Environment, MB
 from .wdl import WDLError, load_workflow
 from .workloads import ALL_BENCHMARKS, build
 
-__all__ = ["main", "run_workflow", "RunSummary"]
+__all__ = ["main", "run_workflow", "run_trials", "RunSummary"]
 
 
 class RunSummary(dict):
@@ -146,6 +147,85 @@ def run_workflow(
     )
 
 
+# Fields of a RunSummary that survive the trip back from a worker
+# process (the live system/metrics/tracer objects hold simulation
+# generators and are neither picklable nor meaningful across trials).
+_SCALAR_FIELDS = (
+    "workflow",
+    "engine",
+    "invocations",
+    "completed",
+    "timeouts",
+    "failures",
+    "mean_latency",
+    "p50_latency",
+    "p99_latency",
+    "mean_scheduling_overhead",
+    "data_moved_mb",
+    "local_fraction",
+    "cold_starts",
+)
+
+
+def _trial_task(payload: tuple) -> dict:
+    """Run one independent trial in a (possibly pooled) worker."""
+    source, seed, kwargs = payload
+    summary = run_workflow(_load_dag(source), seed=seed, **kwargs)
+    return {field: summary[field] for field in _SCALAR_FIELDS}
+
+
+def run_trials(
+    source: str,
+    trials: int = 3,
+    jobs: int = 1,
+    seed: int = 13,
+    **run_kwargs,
+) -> list[RunSummary]:
+    """Run ``trials`` independent repetitions of a workflow run.
+
+    Each trial gets a deterministic seed derived from ``seed`` and the
+    trial index, so the set of results is identical whether the trials
+    execute serially or fan out over ``jobs`` worker processes.
+    ``source`` is a WDL path or benchmark name (re-loaded per worker —
+    live DAG/system objects never cross the process boundary).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    tasks = [
+        (source, derive_seed(seed, "trial", index), dict(run_kwargs))
+        for index in range(trials)
+    ]
+    results = ParallelRunner(jobs).map(_trial_task, tasks)
+    return [RunSummary(result) for result in results]
+
+
+def _format_trials(summaries: list[RunSummary]) -> str:
+    def stats(values):
+        mean = sum(values) / len(values)
+        return mean, min(values), max(values)
+
+    lines = [
+        f"{'trial':>5}  {'mean (ms)':>10}  {'p99 (ms)':>10}  "
+        f"{'ok':>4}  {'timeout':>7}  {'failed':>6}  {'cold':>4}"
+    ]
+    for index, s in enumerate(summaries):
+        lines.append(
+            f"{index:>5}  {s.mean_latency * 1000:>10,.1f}  "
+            f"{s.p99_latency * 1000:>10,.1f}  {s.completed:>4}  "
+            f"{s.timeouts:>7}  {s.failures:>6}  {s.cold_starts:>4}"
+        )
+    mean_mean, mean_lo, mean_hi = stats([s.mean_latency for s in summaries])
+    p99_mean, p99_lo, p99_hi = stats([s.p99_latency for s in summaries])
+    lines.append(
+        f"across {len(summaries)} trials: "
+        f"mean latency {mean_mean * 1000:,.1f} ms "
+        f"[{mean_lo * 1000:,.1f}-{mean_hi * 1000:,.1f}], "
+        f"p99 {p99_mean * 1000:,.1f} ms "
+        f"[{p99_lo * 1000:,.1f}-{p99_hi * 1000:,.1f}]"
+    )
+    return "\n".join(lines)
+
+
 def _format_summary(summary: RunSummary) -> str:
     lines = [
         f"workflow            {summary.workflow}",
@@ -201,6 +281,16 @@ def main(argv: list[str] | None = None) -> int:
         help="retry budget per function task (default 2)",
     )
     parser.add_argument(
+        "--trials", type=int, default=1, metavar="K",
+        help="repeat the whole run K times with per-trial derived seeds "
+        "and report the spread (default 1)",
+    )
+    add_jobs_argument(parser)
+    parser.add_argument(
+        "--seed", type=int, default=13,
+        help="base seed for arrivals/faults (trials derive from it)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="print the first invocation's execution timeline",
     )
@@ -213,8 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     except WDLError as error:
         print(f"error: invalid workflow definition: {error}", file=sys.stderr)
         return 2
-    summary = run_workflow(
-        dag,
+    run_kwargs = dict(
         engine=args.engine,
         invocations=args.invocations,
         workers=args.workers,
@@ -222,11 +311,21 @@ def main(argv: list[str] | None = None) -> int:
         open_loop_rate=args.open_loop,
         prewarm=args.prewarm,
         ship_data=not args.no_data,
-        trace=args.trace,
         feedback=not args.no_feedback,
         fault_rate=args.fault_rate,
         max_retries=args.max_retries,
     )
+    if args.trials > 1:
+        summaries = run_trials(
+            args.workflow,
+            trials=args.trials,
+            jobs=args.jobs,
+            seed=args.seed,
+            **run_kwargs,
+        )
+        print(_format_trials(summaries))
+        return 0
+    summary = run_workflow(dag, trace=args.trace, seed=args.seed, **run_kwargs)
     print(_format_summary(summary))
     if args.trace and summary.tracer is not None and summary.records:
         print("\nfirst invocation timeline:")

@@ -39,7 +39,9 @@ class _Link:
     def __init__(self, name: str, bandwidth: float):
         self.name = name
         self.bandwidth = float(bandwidth)
-        self.flows: set["Flow"] = set()
+        # Insertion-ordered (dict-as-set): the water-filling arithmetic
+        # must visit flows in a deterministic order, not id()-hash order.
+        self.flows: dict["Flow", None] = {}
         self.bytes_carried = 0.0
 
 
@@ -148,7 +150,11 @@ class Network:
         self.env = env
         self.config = config or NetworkConfig()
         self._nics: dict[str, NIC] = {}
-        self._flows: set[Flow] = set()
+        # dict-as-ordered-set: iteration order (and with it the fair-share
+        # float accumulation order) is start-order of the flows, identical
+        # in every process — a plain set iterates in address order, which
+        # varies run to run and would break serial/parallel equality.
+        self._flows: dict[Flow, None] = {}
         self._flow_ids = itertools.count(1)
         self._last_advance = env.now
         self._timer_version = 0
@@ -201,9 +207,9 @@ class Network:
             return done
         self._advance()
         flow = Flow(next(self._flow_ids), src, dst, size, done, started, tag)
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in flow.links:
-            link.flows.add(flow)
+            link.flows[flow] = None
         self.flow_count += 1
         self._rebalance()
         return done
@@ -276,7 +282,7 @@ class Network:
         self._arm_timer()
 
     def _allocate_rates(self) -> None:
-        unfrozen = set(self._flows)
+        unfrozen = dict.fromkeys(self._flows)
         link_spare: dict[_Link, float] = {}
         link_count: dict[_Link, int] = {}
         for flow in self._flows:
@@ -302,7 +308,7 @@ class Network:
                 break
             for flow in frozen_now:
                 flow.rate = share
-                unfrozen.discard(flow)
+                unfrozen.pop(flow, None)
                 for link in flow.links:
                     link_spare[link] -= share
                     link_count[link] -= 1
@@ -327,9 +333,9 @@ class Network:
         self._advance()
         finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.size)]
         for flow in finished:
-            self._flows.discard(flow)
+            self._flows.pop(flow, None)
             for link in flow.links:
-                link.flows.discard(flow)
+                link.flows.pop(flow, None)
             self._record(
                 flow.src,
                 flow.dst,

@@ -42,10 +42,26 @@ class TestClock:
         env.run(until=5.0)
         assert fired == [2.0]
 
-    def test_cannot_run_backwards(self, env):
+    def test_run_until_past_deadline_is_noop(self, env):
         env.run(until=5.0)
-        with pytest.raises(SimulationError):
-            env.run(until=1.0)
+        env.run(until=1.0)
+        assert env.now == 5.0
+
+    def test_back_to_back_run_until_never_rewinds(self, env):
+        # Regression: a prior run(until=...) sets now to its deadline; a
+        # later call with a smaller deadline must not rewind the clock or
+        # disturb still-pending events.
+        fired = []
+        t = env.timeout(8.0)
+        t.callbacks.append(lambda e: fired.append(env.now))
+        env.run(until=6.0)
+        assert env.now == 6.0
+        env.run(until=2.0)
+        assert env.now == 6.0
+        assert fired == []
+        env.run(until=10.0)
+        assert env.now == 10.0
+        assert fired == [8.0]
 
     def test_peek_empty_queue(self, env):
         assert env.peek() == float("inf")

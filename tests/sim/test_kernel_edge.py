@@ -7,6 +7,7 @@ from repro.sim.kernel import (
     Event,
     Interrupt,
     SimulationError,
+    StopProcess,
 )
 from repro.sim.sync import Resource, Store
 
@@ -158,6 +159,139 @@ class TestInterruptDuringResourceWait:
         store.put("x")
         env.run()
         assert store.items == ("x",)
+
+
+class TestStopProcess:
+    def test_early_exit_value_reaches_waiter(self, env):
+        def worker(env):
+            yield env.timeout(1.0)
+            raise StopProcess("partial-result")
+            yield env.timeout(100.0)  # pragma: no cover
+
+        def waiter(env):
+            value = yield env.process(worker(env))
+            return f"got {value}"
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == "got partial-result"
+        assert env.now == 1.0
+
+    def test_stop_with_no_value_yields_none(self, env):
+        def worker(env):
+            yield env.timeout(1.0)
+            raise StopProcess()
+
+        def waiter(env):
+            value = yield env.process(worker(env))
+            return value
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) is None
+
+
+class TestInterruptDuringCondition:
+    def test_interrupt_while_waiting_on_all_of(self, env):
+        def victim(env):
+            try:
+                yield env.all_of([env.timeout(50.0), env.timeout(80.0)])
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        def attacker(env, target):
+            yield env.timeout(2.0)
+            target.interrupt("quota")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == ("interrupted", "quota", 2.0)
+        # The abandoned condition's timeouts still drain without error.
+        env.run()
+        assert env.now == 80.0
+
+    def test_interrupt_while_waiting_on_any_of(self, env):
+        def victim(env):
+            try:
+                yield env.any_of([env.timeout(50.0), env.timeout(80.0)])
+            except Interrupt:
+                return env.now
+
+        def attacker(env, target):
+            yield env.timeout(3.0)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == 3.0
+
+
+class TestCrashSurfacesFromStep:
+    def test_unwaited_crash_raises_from_step(self, env):
+        def boom(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("nobody is watching")
+
+        env.process(boom(env))
+        with pytest.raises(SimulationError) as exc_info:
+            while True:
+                env.step()
+        assert "crashed" in str(exc_info.value)
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+
+    def test_crash_with_waiter_does_not_raise_from_step(self, env):
+        def boom(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("observed")
+
+        def observer(env, target):
+            try:
+                yield target
+            except RuntimeError:
+                return "ok"
+
+        target = env.process(boom(env))
+        env.process(observer(env, target))
+        while env.peek() != float("inf"):
+            env.step()
+        assert env.now == 1.0
+
+
+class TestEmptyAnyOf:
+    def test_any_of_empty_list_raises(self, env):
+        # all_of([]) is vacuously true; any_of([]) could never fire, so
+        # it is rejected eagerly instead of deadlocking the waiter.
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+
+class TestTimeoutPooling:
+    def test_recycled_timeouts_deliver_their_own_values(self, env):
+        """The Timeout free-list must never leak a stale value or state
+        into a reused object."""
+
+        def proc(env):
+            got = []
+            for i in range(500):
+                value = yield env.timeout(0.01, ("tick", i))
+                got.append(value)
+            return got
+
+        p = env.process(proc(env))
+        result = env.run(until=p)
+        assert result == [("tick", i) for i in range(500)]
+
+    def test_held_timeout_is_never_recycled(self, env):
+        """A Timeout the caller still references must keep its value
+        even after thousands of later timeouts could have reused it."""
+        held = env.timeout(0.5, "mine")
+
+        def churner(env):
+            for _ in range(1000):
+                yield env.timeout(0.001)
+
+        env.process(churner(env))
+        env.run()
+        assert held.processed
+        assert held.value == "mine"
 
 
 class TestZeroDelay:
