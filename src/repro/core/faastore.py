@@ -24,6 +24,7 @@ from typing import Generator, Optional
 
 from ..dag import WorkflowDAG
 from ..metrics import MetricsCollector, TransferEvent
+from ..obs.spans import SpanKind
 from ..sim import Cluster, KeyNotFoundError, Node
 from .state import InvocationID, Placement
 
@@ -95,6 +96,7 @@ class DataPolicy:
         duration: float,
         phase: str,
         local: bool,
+        node: str = "",
     ) -> None:
         self.metrics.record_transfer(
             TransferEvent(
@@ -108,6 +110,23 @@ class DataPolicy:
                 local=local,
             )
         )
+        spans = self.cluster.spans
+        if spans.enabled:
+            # The acting function (producer for puts, consumer for
+            # gets) parents the span under its own function span.
+            actor = consumer if phase == "get" else producer
+            spans.record(
+                SpanKind.GET if phase == "get" else SpanKind.PUT,
+                self.env.now - duration,
+                workflow=dag.name,
+                invocation_id=invocation_id,
+                function=actor,
+                node=node,
+                parent=spans.context_of(invocation_id, actor),
+                producer=producer,
+                size=size,
+                local=local,
+            )
 
     def _remote_put(self, node, dag, invocation_id, function, chunk, size):
         key = object_key(dag.name, invocation_id, function, chunk)
@@ -115,7 +134,7 @@ class DataPolicy:
         yield self.cluster.remote_store.put(key, size, src=node.nic, tag=key)
         self._record(
             dag, invocation_id, function, "", size, self.env.now - start,
-            "put", local=False,
+            "put", local=False, node=node.name,
         )
 
     def _remote_get(self, node, dag, invocation_id, producer, consumer, chunk, size):
@@ -129,7 +148,7 @@ class DataPolicy:
             return
         self._record(
             dag, invocation_id, producer, consumer, size,
-            self.env.now - start, "get", local=False,
+            self.env.now - start, "get", local=False, node=node.name,
         )
 
 
@@ -212,9 +231,10 @@ class FaaStorePolicy(DataPolicy):
                 yield done
                 self._record(
                     dag, invocation_id, function, "", size,
-                    self.env.now - start, "put", local=True,
+                    self.env.now - start, "put", local=True, node=node.name,
                 )
                 return
+            self._spill(dag, invocation_id, function, node, size, "put")
         yield from self._remote_put(node, dag, invocation_id, function, chunk, size)
         if use_cache and local_consumers:
             # Seed the producer-node cache: co-located consumers read
@@ -223,6 +243,8 @@ class FaaStorePolicy(DataPolicy):
             if seeded is not None:
                 self._refcounts[(key, node.name)] = len(local_consumers)
                 yield seeded
+            else:
+                self._spill(dag, invocation_id, function, node, size, "seed")
 
     def fetch_input(
         self, node, dag, placement, invocation_id, producer, consumer, chunk, size
@@ -278,9 +300,27 @@ class FaaStorePolicy(DataPolicy):
                 if seeded is not None:
                     self._refcounts[cache_slot] = siblings_pending
                     yield seeded
+                else:
+                    self._spill(
+                        dag, invocation_id, producer, node, size, "read-through"
+                    )
         finally:
             self._inflight.pop(cache_slot, None)
             arrival.succeed()
+
+    def _spill(self, dag, invocation_id, function, node, size, phase) -> None:
+        """Note a quota overflow: the local store refused the object."""
+        spans = self.cluster.spans
+        if spans.enabled:
+            spans.event(
+                SpanKind.SPILL,
+                workflow=dag.name,
+                invocation_id=invocation_id,
+                function=function,
+                node=node.name,
+                size=size,
+                phase=phase,
+            )
 
     def _local_get(
         self, node, dag, invocation_id, producer, consumer, size, cache_slot
@@ -289,7 +329,7 @@ class FaaStorePolicy(DataPolicy):
         yield node.memstore.get(cache_slot[0])
         self._record(
             dag, invocation_id, producer, consumer, size,
-            self.env.now - start, "get", local=True,
+            self.env.now - start, "get", local=True, node=node.name,
         )
         remaining = self._refcounts.get(cache_slot, 1) - 1
         if remaining <= 0:

@@ -22,6 +22,7 @@ from ..metrics import (
     InvocationStatus,
     MetricsCollector,
 )
+from ..obs.spans import SpanKind
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, RemoteStorePolicy
@@ -78,7 +79,10 @@ class HyperFlowServerlessSystem:
         self.env = cluster.env
         self.config = config or EngineConfig()
         self.tracer = tracer
+        self.spans = cluster.spans
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        if self.spans.enabled:
+            self.metrics.spans = self.spans
         self.policy = policy or RemoteStorePolicy(cluster, self.metrics)
         self.runtime = FunctionRuntime(
             cluster, self.config, self.policy, faults=faults
@@ -139,6 +143,10 @@ class HyperFlowServerlessSystem:
             )
 
         self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        if self.spans.enabled:
+            self.spans.start_invocation(
+                invocation_id, workflow=workflow, mode=self.mode
+            )
         for source in dag.sources():
             state.state_of(source).triggered = True
             spawn(source)
@@ -158,6 +166,10 @@ class HyperFlowServerlessSystem:
         self.trace(
             Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
         )
+        if self.spans.enabled:
+            root = self.spans.root_of(invocation_id)
+            if root is not None:
+                self.spans.end(root, status=record.status)
         return record
 
     def trace(self, kind: str, workflow: str, invocation_id: InvocationID,
@@ -207,12 +219,26 @@ class HyperFlowServerlessSystem:
                 function=function, node=worker.name,
             )
             self.messages_sent += 1
+            assign_start = self.env.now
             yield self.cluster.network.message(
                 self.master.nic,
                 worker.nic,
                 self.config.assign_message_size,
                 tag=f"assign:{function}",
             )
+            if self.spans.enabled:
+                self.spans.record(
+                    SpanKind.STATE_SYNC,
+                    assign_start,
+                    self.env.now,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=self.master.name,
+                    parent=self.spans.root_of(invocation_id),
+                    role="assign",
+                    dst=worker.name,
+                )
             # Stage 2: the worker executes the function task.
             try:
                 result = yield self.env.process(
@@ -228,12 +254,26 @@ class HyperFlowServerlessSystem:
             record.cold_starts += result.cold_starts
             # Stage 3: the execution state returns to the master.
             self.messages_sent += 1
+            result_start = self.env.now
             yield self.cluster.network.message(
                 worker.nic,
                 self.master.nic,
                 self.config.result_message_size,
                 tag=f"result:{function}",
             )
+            if self.spans.enabled:
+                self.spans.record(
+                    SpanKind.STATE_SYNC,
+                    result_start,
+                    self.env.now,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=worker.name,
+                    parent=self.spans.root_of(invocation_id),
+                    role="result",
+                    dst=self.master.name,
+                )
         # Completion handling in the serialized engine loop.
         yield from self._engine_step()
         state.state_of(function).executed = True

@@ -23,9 +23,11 @@ from ..metrics import (
     MetricsCollector,
     TransferEvent,
 )
+from ..obs.spans import SpanKind
 from ..sim import Cluster, Node
 from .master_engine import static_critical_exec
 from .state import InvocationState, new_invocation_id
+from .tracing import Kind, Tracer
 
 __all__ = ["MonolithicSystem"]
 
@@ -40,16 +42,29 @@ class MonolithicSystem:
         cluster: Cluster,
         metrics: Optional[MetricsCollector] = None,
         host: Optional[Node] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.cluster = cluster
         self.env = cluster.env
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.host = host or cluster.workers[0]
+        self.tracer = tracer
+        self.spans = cluster.spans
+        if self.spans.enabled:
+            self.metrics.spans = self.spans
         self._workflows: dict[str, WorkflowDAG] = {}
 
     def register(self, dag: WorkflowDAG) -> None:
         dag.validate()
         self._workflows[dag.name] = dag
+
+    def trace(self, kind: str, workflow: str, invocation_id: str,
+              function: str = "", node: str = "", detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, kind, workflow, invocation_id,
+                function=function, node=node, detail=detail,
+            )
 
     def invoke(self, workflow: str) -> Generator:
         """Simulation process: one monolithic invocation."""
@@ -65,6 +80,11 @@ class MonolithicSystem:
         state = InvocationState(invocation_id)
         all_done = self.env.event()
         remaining = {"count": len(dag.node_names)}
+        self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        if self.spans.enabled:
+            self.spans.start_invocation(
+                invocation_id, workflow=workflow, mode=self.mode
+            )
         for source in dag.sources():
             state.state_of(source).triggered = True
             self.env.process(
@@ -74,17 +94,40 @@ class MonolithicSystem:
         yield all_done
         record.finished_at = self.env.now
         self.metrics.record_invocation(record)
+        self.trace(
+            Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
+        )
+        if self.spans.enabled:
+            root = self.spans.root_of(invocation_id)
+            if root is not None:
+                self.spans.end(root, status=record.status)
         return record
 
     def _run_function(
         self, dag, invocation_id, function, state, remaining, all_done
     ) -> Generator:
         node_meta = dag.node(function)
+        spans = self.spans
         if not node_meta.is_virtual:
             instances = max(1, int(round(node_meta.map_factor)))
+            fn_span = None
+            if spans.enabled:
+                fn_span = spans.start(
+                    SpanKind.FUNCTION,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=self.host.name,
+                    parent=spans.root_of(invocation_id),
+                    instances=instances,
+                )
+                spans.set_context(invocation_id, function, fn_span)
             workers = [
                 self.env.process(
-                    self._run_thread(node_meta.service_time),
+                    self._run_thread(
+                        dag.name, invocation_id, function,
+                        node_meta.service_time, i,
+                    ),
                     name=f"mono-thread:{function}#{i}",
                 )
                 for i in range(instances)
@@ -110,7 +153,29 @@ class MonolithicSystem:
                         local=True,
                     )
                 )
+                if spans.enabled:
+                    spans.record(
+                        SpanKind.PUT,
+                        self.env.now - duration,
+                        self.env.now,
+                        workflow=dag.name,
+                        invocation_id=invocation_id,
+                        function=function,
+                        node=self.host.name,
+                        parent=fn_span,
+                        producer=function,
+                        size=node_meta.output_size,
+                        local=True,
+                    )
+            if fn_span is not None:
+                spans.end(fn_span)
+                spans.clear_context(invocation_id, function)
         state.state_of(function).executed = True
+        self.trace(
+            Kind.FUNCTION_EXECUTED, dag.name, invocation_id,
+            function=function,
+            node="" if node_meta.is_virtual else self.host.name,
+        )
         remaining["count"] -= 1
         if remaining["count"] == 0 and not all_done.triggered:
             all_done.succeed()
@@ -127,10 +192,45 @@ class MonolithicSystem:
                     name=f"mono:{dag.name}:{successor}",
                 )
 
-    def _run_thread(self, service_time: float) -> Generator:
+    def _run_thread(
+        self,
+        workflow: str,
+        invocation_id: str,
+        function: str,
+        service_time: float,
+        index: int,
+    ) -> Generator:
+        spans = self.spans
+        wait_start = self.env.now
         request = self.host.cpu.request(1)
         yield request
+        if spans.enabled and self.env.now - wait_start > 1e-12:
+            spans.record(
+                SpanKind.QUEUE_WAIT,
+                wait_start,
+                self.env.now,
+                workflow=workflow,
+                invocation_id=invocation_id,
+                function=function,
+                node=self.host.name,
+                parent=spans.context_of(invocation_id, function),
+                resource="cpu",
+                instance=index,
+            )
+        exec_start = self.env.now
         try:
             yield self.env.timeout(service_time)
         finally:
             self.host.cpu.release(request)
+            if spans.enabled:
+                spans.record(
+                    SpanKind.EXECUTE,
+                    exec_start,
+                    self.env.now,
+                    workflow=workflow,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=self.host.name,
+                    parent=spans.context_of(invocation_id, function),
+                    instance=index,
+                )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from ..dag import WorkflowDAG
+from ..obs.spans import SpanKind
 from ..sim import Cluster, Node
 from .config import EngineConfig
 from .faastore import DataPolicy
@@ -60,6 +61,7 @@ class FunctionRuntime:
         self.policy = policy
         self.faults = faults
         self.env = cluster.env
+        self.spans = cluster.spans
         self._jitter_rng = (
             random.Random(config.jitter_seed)
             if config.service_time_jitter > 0
@@ -92,6 +94,19 @@ class FunctionRuntime:
         result = ExecutionResult(
             function=function, instances=instances, started_at=self.env.now
         )
+        spans = self.spans
+        fn_span = None
+        if spans.enabled:
+            fn_span = spans.start(
+                SpanKind.FUNCTION,
+                workflow=dag.name,
+                invocation_id=invocation_id,
+                function=function,
+                node=worker.name,
+                parent=spans.root_of(invocation_id),
+                instances=instances,
+            )
+            spans.set_context(invocation_id, function, fn_span)
         instance_procs = [
             self.env.process(
                 self._run_instance_with_retries(
@@ -105,8 +120,23 @@ class FunctionRuntime:
         try:
             yield self.env.all_of(instance_procs)
         except FunctionFailure:
+            if fn_span is not None:
+                spans.end(
+                    fn_span,
+                    status="failed",
+                    cold_starts=result.cold_starts,
+                    retries=result.retries,
+                )
+                spans.clear_context(invocation_id, function)
             raise
         result.finished_at = self.env.now
+        if fn_span is not None:
+            spans.end(
+                fn_span,
+                cold_starts=result.cold_starts,
+                retries=result.retries,
+            )
+            spans.clear_context(invocation_id, function)
         return result
 
     def _run_instance_with_retries(
@@ -147,9 +177,49 @@ class FunctionRuntime:
         result: ExecutionResult,
     ) -> Generator:
         node_meta = dag.node(function)
+        spans = self.spans
+        acquire_start = self.env.now
         container = yield worker.containers.acquire(function, version)
-        if container.invocations == 1:
+        cold = container.invocations == 1
+        if cold:
             result.cold_starts += 1
+        if spans.enabled:
+            # Split the acquire wait into cold-start time (bounded by the
+            # configured cold-start cost) and pure queueing for a slot.
+            elapsed = self.env.now - acquire_start
+            ctx = spans.context_of(invocation_id, function)
+            cold_time = (
+                min(worker.containers.spec.cold_start_time, elapsed)
+                if cold
+                else 0.0
+            )
+            queue_time = elapsed - cold_time
+            if queue_time > 1e-12:
+                spans.record(
+                    SpanKind.QUEUE_WAIT,
+                    acquire_start,
+                    acquire_start + queue_time,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=worker.name,
+                    parent=ctx,
+                    resource="container",
+                    instance=index,
+                )
+            if cold_time > 0:
+                spans.record(
+                    SpanKind.COLD_START,
+                    self.env.now - cold_time,
+                    self.env.now,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=worker.name,
+                    parent=ctx,
+                    container=container.container_id,
+                    instance=index,
+                )
         crashed = False
         try:
             if self.config.ship_data:
@@ -157,8 +227,23 @@ class FunctionRuntime:
                     dag, placement, invocation_id, function, worker,
                     index, instances,
                 )
+            cpu_wait_start = self.env.now
             cpu_request = worker.cpu.request(1)
             yield cpu_request
+            if spans.enabled and self.env.now - cpu_wait_start > 1e-12:
+                spans.record(
+                    SpanKind.QUEUE_WAIT,
+                    cpu_wait_start,
+                    self.env.now,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=worker.name,
+                    parent=spans.context_of(invocation_id, function),
+                    resource="cpu",
+                    instance=index,
+                )
+            exec_start = self.env.now
             try:
                 duration = self._service_time(node_meta.service_time)
                 if self.faults is not None and self.faults.should_crash(
@@ -173,6 +258,20 @@ class FunctionRuntime:
                 yield self.env.timeout(duration)
             finally:
                 worker.cpu.release(cpu_request)
+                if spans.enabled:
+                    spans.record(
+                        SpanKind.EXECUTE,
+                        exec_start,
+                        self.env.now,
+                        workflow=dag.name,
+                        invocation_id=invocation_id,
+                        function=function,
+                        node=worker.name,
+                        parent=spans.context_of(invocation_id, function),
+                        instance=index,
+                        container=container.container_id,
+                        status="crashed" if crashed else "ok",
+                    )
             container.note_memory_use(node_meta.memory)
             if self.config.ship_data and node_meta.output_size > 0:
                 yield from self.policy.save_output(

@@ -12,6 +12,7 @@ Tracing is opt-in and costs nothing when absent.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -50,7 +51,10 @@ class Tracer:
         if limit < 1:
             raise ValueError("limit must be >= 1")
         self.limit = limit
-        self.events: list[TraceEvent] = []
+        # Bounded ring, drop-*oldest*: a long run keeps the tail of its
+        # history (the part you inspect after a failure) instead of
+        # freezing the head and silently discarding everything after.
+        self.events: deque[TraceEvent] = deque(maxlen=limit)
         self.dropped = 0
 
     def record(
@@ -65,7 +69,6 @@ class Tracer:
     ) -> None:
         if len(self.events) >= self.limit:
             self.dropped += 1
-            return
         self.events.append(
             TraceEvent(
                 time=time,

@@ -21,6 +21,7 @@ from ..metrics import (
     InvocationStatus,
     MetricsCollector,
 )
+from ..obs.spans import SpanKind
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, FaaStorePolicy
@@ -192,12 +193,27 @@ class WorkerEngine:
             except FunctionFailure:
                 # The task exhausted its retries: report the failure to
                 # the client like a sink would report success.
+                report_start = self.env.now
                 yield self.system.network.message(
                     self.node.nic,
                     self.system.client_node.nic,
                     self.system.config.result_message_size,
                     tag=f"failure:{function}",
                 )
+                spans = self.system.spans
+                if spans.enabled:
+                    spans.record(
+                        SpanKind.STATE_SYNC,
+                        report_start,
+                        self.env.now,
+                        workflow=workflow,
+                        invocation_id=invocation_id,
+                        function=function,
+                        node=self.node.name,
+                        parent=spans.root_of(invocation_id),
+                        role="failure-report",
+                        dst=self.system.client_node.name,
+                    )
                 self.system.invocation_failed(
                     structure.workflow, invocation_id, function
                 )
@@ -227,12 +243,27 @@ class WorkerEngine:
         info = structure.info(function)
         if not info.successors:
             # A sink finished: report the execution state to the client.
+            report_start = self.env.now
             yield self.system.network.message(
                 self.node.nic,
                 self.system.client_node.nic,
                 self.system.config.result_message_size,
                 tag=f"sink:{function}",
             )
+            spans = self.system.spans
+            if spans.enabled:
+                spans.record(
+                    SpanKind.STATE_SYNC,
+                    report_start,
+                    self.env.now,
+                    workflow=structure.workflow,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=self.node.name,
+                    parent=spans.root_of(invocation_id),
+                    role="sink-report",
+                    dst=self.system.client_node.name,
+                )
             self.system.sink_completed(structure.workflow, invocation_id)
             return
         for successor in info.successors:
@@ -267,12 +298,27 @@ class WorkerEngine:
         target: str,
     ) -> Generator:
         remote_engine = self.system.engine(target)
+        sync_start = self.env.now
         yield self.system.network.message(
             self.node.nic,
             remote_engine.node.nic,
             self.system.config.state_message_size,
             tag=f"state:{successor}",
         )
+        spans = self.system.spans
+        if spans.enabled:
+            spans.record(
+                SpanKind.STATE_SYNC,
+                sync_start,
+                self.env.now,
+                workflow=structure.workflow,
+                invocation_id=invocation_id,
+                function=successor,
+                node=self.node.name,
+                parent=spans.root_of(invocation_id),
+                role="state",
+                dst=remote_engine.node.name,
+            )
         remote_engine.states_synced += 1
         self.system.trace(
             Kind.STATE_SYNC, structure.workflow, invocation_id,
@@ -303,7 +349,10 @@ class FaaSFlowSystem:
         self.network = cluster.network
         self.config = config or EngineConfig()
         self.tracer = tracer
+        self.spans = cluster.spans
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        if self.spans.enabled:
+            self.metrics.spans = self.spans
         self.policy = policy or FaaStorePolicy(cluster, self.metrics)
         self.runtime = FunctionRuntime(
             cluster, self.config, self.policy, faults=faults
@@ -430,6 +479,10 @@ class FaaSFlowSystem:
         self._contexts[invocation_id] = context
         deployed.live_invocations += 1
         self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        if self.spans.enabled:
+            self.spans.start_invocation(
+                invocation_id, workflow=workflow, mode=self.mode
+            )
         # The client ships the invocation request to each entry
         # function's worker; from there everything is worker-side.
         for source in dag.sources():
@@ -456,6 +509,10 @@ class FaaSFlowSystem:
         self.trace(
             Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
         )
+        if self.spans.enabled:
+            root = self.spans.root_of(invocation_id)
+            if root is not None:
+                self.spans.end(root, status=record.status)
         self._contexts.pop(invocation_id, None)
         # Release the per-invocation *State* objects on every engine
         # that holds a sub-graph of this workflow (paper §4.2.1).
@@ -478,12 +535,26 @@ class FaaSFlowSystem:
         placement: Placement,
     ) -> Generator:
         engine = self.engine(placement.node_of(source))
+        send_start = self.env.now
         yield self.network.message(
             self.client_node.nic,
             engine.node.nic,
             self.config.assign_message_size,
             tag=f"invoke:{source}",
         )
+        if self.spans.enabled:
+            self.spans.record(
+                SpanKind.STATE_SYNC,
+                send_start,
+                self.env.now,
+                workflow=workflow,
+                invocation_id=invocation_id,
+                function=source,
+                node=self.client_node.name,
+                parent=self.spans.root_of(invocation_id),
+                role="invoke",
+                dst=engine.node.name,
+            )
         yield from engine.trigger_source(workflow, version, invocation_id, source)
 
     def trace(self, kind: str, workflow: str, invocation_id: InvocationID,

@@ -96,11 +96,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write all results as a markdown report to FILE",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="record spans + resource samples for every cluster the "
+        "experiments build and write trace bundles to DIR "
+        "(serial runs only: --jobs children are not traced)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.25,
+        metavar="SEC",
+        help="resource-sampler cadence in simulated seconds (default 0.25)",
+    )
     args = parser.parse_args(argv)
+    collector = None
+    if args.trace_out:
+        from ..obs.context import TraceCollector, activate
+
+        collector = TraceCollector(
+            args.trace_out, sample_interval=args.sample_interval
+        )
+        activate(collector)
     markdown_sections = []
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = _resolve(name)
+        if collector is not None:
+            collector.set_label(name)
         _, quick_kwargs = EXPERIMENTS[name]
         kwargs = dict(quick_kwargs) if args.quick else {}
         kwargs = {k: v for k, v in kwargs.items() if v is not None}
@@ -135,6 +160,15 @@ def main(argv: list[str] | None = None) -> int:
 
         Path(args.markdown).write_text("\n\n".join(markdown_sections) + "\n")
         print(f"markdown report written to {args.markdown}")
+    if collector is not None:
+        from ..obs.context import deactivate
+
+        paths = collector.flush()
+        deactivate()
+        print(
+            f"trace bundles: {len(paths)} files in {args.trace_out} "
+            f"(inspect with faasflow-trace)"
+        )
     return 0
 
 

@@ -119,7 +119,16 @@ def make_cluster(
     )
     if seed_config is not None:
         seed_config(config)
-    return Cluster(Environment(), config)
+    cluster = Cluster(Environment(), config)
+    # `faasflow-experiment --trace-out` activates an ambient collector;
+    # instrumenting here (the factory every experiment uses) is how
+    # spans reach clusters that experiments build internally.
+    from ..obs.context import active_collector
+
+    collector = active_collector()
+    if collector is not None:
+        collector.instrument(cluster)
+    return cluster
 
 
 def make_hyperflow(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..obs.spans import BREAKDOWN_COMPONENTS, decompose
+
 __all__ = [
     "InvocationRecord",
     "TransferEvent",
@@ -93,6 +95,9 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.invocations: list[InvocationRecord] = []
         self.transfers: list[TransferEvent] = []
+        # A SpanTracer attached by an engine when span tracing is on;
+        # enables the measured latency decomposition below.
+        self.spans = None
 
     # -- recording -------------------------------------------------------
     def record_invocation(self, record: InvocationRecord) -> None:
@@ -152,6 +157,58 @@ class MetricsCollector:
         if not records:
             raise ValueError("no completed invocations recorded")
         return sum(r.scheduling_overhead for r in records) / len(records)
+
+    # -- latency decomposition ---------------------------------------------
+    def record_of(self, invocation_id: int) -> Optional[InvocationRecord]:
+        for record in self.invocations:
+            if record.invocation_id == invocation_id:
+                return record
+        return None
+
+    def breakdown(self, invocation_id: int) -> dict:
+        """Latency decomposition of one invocation.
+
+        With a span tracer attached (``self.spans``), sweeps the
+        invocation's spans over its ``[started_at, finished_at]`` window
+        so the returned components — ``execute``, ``cold_start``,
+        ``transfer``, ``queue_wait``, ``sync``, ``engine`` — sum to the
+        end-to-end latency exactly (``measured=True``).  Without spans
+        it falls back to the paper's §2.3 static subtraction: the
+        critical path's execution time is ``execute`` and everything
+        else is ``engine`` (``measured=False``).
+        """
+        record = self.record_of(invocation_id)
+        if record is None:
+            raise KeyError(f"unknown invocation {invocation_id!r}")
+        e2e = record.latency
+        spans = self.spans
+        if spans is not None and getattr(spans, "enabled", False):
+            inv_spans = spans.spans_of(invocation_id)
+            if inv_spans:
+                parts = decompose(
+                    inv_spans, (record.started_at, record.finished_at)
+                )
+                parts["e2e"] = e2e
+                parts["measured"] = True
+                return parts
+        parts = dict.fromkeys(BREAKDOWN_COMPONENTS, 0.0)
+        parts["execute"] = min(record.critical_path_exec, e2e)
+        parts["engine"] = e2e - parts["execute"]
+        parts["e2e"] = e2e
+        parts["measured"] = False
+        return parts
+
+    def mean_breakdown(self, workflow: Optional[str] = None) -> dict:
+        """Per-component means over all completed invocations."""
+        records = self.completed(workflow)
+        if not records:
+            raise ValueError("no completed invocations recorded")
+        totals = dict.fromkeys((*BREAKDOWN_COMPONENTS, "e2e"), 0.0)
+        for record in records:
+            parts = self.breakdown(record.invocation_id)
+            for key in totals:
+                totals[key] += parts[key]
+        return {key: value / len(records) for key, value in totals.items()}
 
     # -- data movement -----------------------------------------------------
     def transfers_of(self, workflow: str, invocation_id: Optional[int] = None):

@@ -51,6 +51,24 @@ _TRANSFER_FIELDS = [
 
 PathLike = Union[str, Path]
 
+_TRUE_STRINGS = {"true", "1", "yes", "y", "t"}
+_FALSE_STRINGS = {"false", "0", "no", "n", "f", ""}
+
+
+def _parse_bool(value: str) -> bool:
+    """Parse a CSV boolean cell regardless of the writer's spelling.
+
+    Accepts ``True``/``true``/``1``/``yes`` (and their negatives) so
+    files edited by hand or produced by other tools round-trip instead
+    of silently collapsing every row to ``False``.
+    """
+    text = value.strip().lower()
+    if text in _TRUE_STRINGS:
+        return True
+    if text in _FALSE_STRINGS:
+        return False
+    raise ValueError(f"not a boolean CSV cell: {value!r}")
+
 
 def write_invocations_csv(metrics: MetricsCollector, path: PathLike) -> int:
     """Write one row per invocation; returns the row count."""
@@ -110,7 +128,7 @@ def read_transfers_csv(path: PathLike) -> list[TransferEvent]:
                     size=float(row["size"]),
                     duration=float(row["duration"]),
                     phase=row["phase"],
-                    local=row["local"] == "True",
+                    local=_parse_bool(row["local"]),
                 )
             )
     return events
@@ -139,7 +157,10 @@ def write_result_csv(result, path: PathLike) -> int:
     """
     with open(path, "w", newline="") as handle:
         for note in result.notes:
-            handle.write(f"# {note}\n")
+            # A note containing newlines must not break out of its
+            # comment: every physical line gets its own "# " prefix.
+            for line in str(note).splitlines() or [""]:
+                handle.write(f"# {line}\n")
         writer = csv.writer(handle)
         writer.writerow(result.headers)
         writer.writerows(result.rows)

@@ -1,0 +1,63 @@
+"""Observability: causal spans, resource telemetry, trace exporters.
+
+The measurement layer the paper's analysis needs (§2.3, §5): every
+invocation becomes a span tree with per-stage child spans, the
+simulation substrate contributes node-track spans (network transfers,
+container lifecycle, FaaStore spills), and time-series samplers
+snapshot per-node resources on a simulated-time cadence.  Traces export
+as Chrome trace-event JSON (Perfetto / ``chrome://tracing``) and JSONL,
+inspected with the ``faasflow-trace`` CLI.
+
+Tracing is opt-in and zero-cost when disabled: producers hold the
+:data:`NULL_SPANS` singleton whose methods are no-ops.
+"""
+
+from .export import (
+    chrome_trace,
+    export_trace,
+    read_spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .sampler import (
+    ResourceSampler,
+    Sample,
+    read_samples_csv,
+    write_samples_csv,
+)
+from .spans import (
+    BREAKDOWN_COMPONENTS,
+    NULL_SPANS,
+    NullSpanTracer,
+    Span,
+    SpanKind,
+    SpanTracer,
+    category_of,
+    decompose,
+    format_span_tree,
+    span_tree,
+)
+
+__all__ = [
+    "BREAKDOWN_COMPONENTS",
+    "NULL_SPANS",
+    "NullSpanTracer",
+    "ResourceSampler",
+    "Sample",
+    "Span",
+    "SpanKind",
+    "SpanTracer",
+    "category_of",
+    "chrome_trace",
+    "decompose",
+    "export_trace",
+    "format_span_tree",
+    "read_samples_csv",
+    "read_spans_jsonl",
+    "span_tree",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_samples_csv",
+    "write_spans_jsonl",
+]

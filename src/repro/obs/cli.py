@@ -1,0 +1,251 @@
+"""``faasflow-trace``: inspect and export trace bundles.
+
+Operates on a trace directory written by ``faasflow-run --trace-out``
+or ``faasflow-experiment --trace-out`` (or directly on one
+``*-spans.jsonl`` file)::
+
+    faasflow-trace out/                      # summary of every bundle
+    faasflow-trace out/ --tree               # span tree, first invocation
+    faasflow-trace out/ --tree 42            # span tree of invocation 42
+    faasflow-trace out/ --top 10             # 10 slowest function spans
+    faasflow-trace out/ --nodes              # per-node utilization table
+    faasflow-trace out/ --export-perfetto trace.json
+    faasflow-trace out/ --validate           # CI: parse + nesting checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .export import (
+    chrome_trace,
+    read_spans_jsonl,
+    validate_chrome_trace,
+)
+from .sampler import ResourceSampler, read_samples_csv
+from .spans import (
+    BREAKDOWN_COMPONENTS,
+    Span,
+    SpanKind,
+    decompose,
+    format_span_tree,
+)
+
+__all__ = ["main"]
+
+
+def _format_table(headers, rows) -> str:
+    from ..experiments.common import format_table
+
+    return format_table(headers, rows)
+
+
+class TraceBundle:
+    """One run's loaded spans (+ optional samples)."""
+
+    def __init__(self, spans_path: Path):
+        self.spans_path = spans_path
+        self.spans, self.meta = read_spans_jsonl(spans_path)
+        self.name = spans_path.name.replace("-spans.jsonl", "")
+        samples_path = spans_path.with_name(f"{self.name}-samples.csv")
+        self.samples = (
+            read_samples_csv(samples_path) if samples_path.exists() else []
+        )
+
+    @property
+    def dropped(self) -> int:
+        return self.meta.get("dropped", 0)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.kind == SpanKind.INVOCATION]
+
+    def spans_of(self, invocation_id: int) -> list[Span]:
+        return [s for s in self.spans if s.invocation_id == invocation_id]
+
+    def breakdown(self, root: Span) -> dict[str, float]:
+        end = root.end if root.end is not None else root.start
+        return decompose(
+            self.spans_of(root.invocation_id), (root.start, end)
+        )
+
+
+def _discover(path: Path) -> list[TraceBundle]:
+    if path.is_file():
+        return [TraceBundle(path)]
+    bundles = [
+        TraceBundle(p) for p in sorted(path.glob("*-spans.jsonl"))
+    ]
+    if not bundles:
+        raise SystemExit(
+            f"error: no *-spans.jsonl files under {path} "
+            "(expected a --trace-out directory or a spans JSONL file)"
+        )
+    return bundles
+
+
+def _function_spans(bundle: TraceBundle) -> list[Span]:
+    return [s for s in bundle.spans if s.kind == SpanKind.FUNCTION]
+
+
+def _summary(bundle: TraceBundle, top: int) -> str:
+    roots = bundle.roots()
+    lines = [f"== {bundle.name} =="]
+    lines.append(
+        f"spans               {len(bundle.spans)}"
+        + (f" ({bundle.dropped} dropped, oldest first)" if bundle.dropped else "")
+    )
+    statuses: dict[str, int] = {}
+    for root in roots:
+        status = root.attrs.get("result", root.status)
+        statuses[status] = statuses.get(status, 0) + 1
+    status_text = ", ".join(f"{v} {k}" for k, v in sorted(statuses.items()))
+    lines.append(f"invocations         {len(roots)} ({status_text})")
+    if roots:
+        totals = dict.fromkeys(BREAKDOWN_COMPONENTS, 0.0)
+        e2e = 0.0
+        for root in roots:
+            for key, value in bundle.breakdown(root).items():
+                totals[key] += value
+            e2e += root.duration
+        lines.append("mean latency decomposition per invocation:")
+        for key in BREAKDOWN_COMPONENTS:
+            mean = totals[key] / len(roots) * 1000
+            share = totals[key] / e2e * 100 if e2e else 0.0
+            lines.append(f"  {key:<11} {mean:>10,.2f} ms  ({share:4.1f}%)")
+    slowest = sorted(
+        _function_spans(bundle), key=lambda s: s.duration, reverse=True
+    )[:top]
+    if slowest:
+        lines.append(f"top {len(slowest)} slowest function spans:")
+        for span in slowest:
+            lines.append(
+                f"  {span.duration * 1000:>10,.2f} ms  {span.function}"
+                f" @{span.node}  (invocation {span.invocation_id})"
+            )
+    return "\n".join(lines)
+
+
+def _nodes_table(bundle: TraceBundle) -> str:
+    if not bundle.samples:
+        return f"== {bundle.name} ==\n(no samples recorded)"
+    sampler = ResourceSampler.__new__(ResourceSampler)
+    sampler.samples = bundle.samples
+    rows = sampler.node_table()
+    return f"== {bundle.name} ==\n" + _format_table(
+        ResourceSampler.NODE_TABLE_HEADERS, rows
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="faasflow-trace",
+        description="Summarize, inspect, validate, and export trace bundles.",
+    )
+    parser.add_argument(
+        "path", help="trace directory (--trace-out output) or a spans.jsonl"
+    )
+    parser.add_argument(
+        "--tree", nargs="?", const=-1, type=int, metavar="INV",
+        help="print a span tree (of invocation INV, default the first)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="N slowest function spans in the summary (default 5)",
+    )
+    parser.add_argument(
+        "--nodes", action="store_true",
+        help="per-node utilization table from the resource samples",
+    )
+    parser.add_argument(
+        "--export-perfetto", metavar="OUT",
+        help="write a merged Chrome trace-event JSON for Perfetto",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check every bundle parses and its spans are well-nested",
+    )
+    args = parser.parse_args(argv)
+    bundles = _discover(Path(args.path))
+
+    if args.validate:
+        failures = 0
+        for bundle in bundles:
+            document = chrome_trace(bundle.spans, samples=bundle.samples)
+            problems = validate_chrome_trace(document)
+            trace_path = bundle.spans_path.with_name(
+                f"{bundle.name}-trace.json"
+            )
+            if trace_path.exists():
+                problems += validate_chrome_trace(
+                    json.loads(trace_path.read_text())
+                )
+            if problems:
+                failures += 1
+                print(f"INVALID {bundle.name}:")
+                for problem in problems[:10]:
+                    print(f"  - {problem}")
+            else:
+                print(
+                    f"ok {bundle.name}: {len(bundle.spans)} spans, "
+                    f"{len(bundle.roots())} invocations, well-nested"
+                )
+        return 1 if failures else 0
+
+    if args.export_perfetto:
+        spans: list[Span] = []
+        samples = []
+        dropped = 0
+        for bundle in bundles:
+            spans.extend(bundle.spans)
+            samples.extend(bundle.samples)
+            dropped += bundle.dropped
+        document = chrome_trace(spans, samples=samples, dropped=dropped)
+        Path(args.export_perfetto).write_text(json.dumps(document))
+        print(
+            f"wrote {args.export_perfetto}: {len(spans)} spans from "
+            f"{len(bundles)} bundle(s) — open at https://ui.perfetto.dev"
+        )
+        return 0
+
+    if args.tree is not None:
+        bundle = bundles[0]
+        roots = bundle.roots()
+        if not roots:
+            print("no invocations in trace")
+            return 1
+        invocation_id = (
+            roots[0].invocation_id if args.tree == -1 else args.tree
+        )
+        spans = bundle.spans_of(invocation_id)
+        if not spans:
+            known = ", ".join(str(r.invocation_id) for r in roots[:20])
+            print(
+                f"no spans for invocation {invocation_id} "
+                f"(known invocations: {known})"
+            )
+            return 1
+        print(f"invocation {invocation_id} ({bundle.name}):")
+        print(format_span_tree(spans))
+        return 0
+
+    if args.nodes:
+        for bundle in bundles:
+            print(_nodes_table(bundle))
+            print()
+        return 0
+
+    for bundle in bundles:
+        print(_summary(bundle, args.top))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into head/less and the reader left; not an error.
+        sys.exit(0)

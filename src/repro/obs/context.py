@@ -1,0 +1,90 @@
+"""Ambient trace collection for the experiment harness.
+
+The paper-reproduction experiments build their own clusters and systems
+internally (one fresh cluster per cell), so a caller-supplied tracer
+cannot reach them through arguments without threading a parameter
+through every experiment.  Instead, ``faasflow-experiment --trace-out``
+activates a :class:`TraceCollector`; ``make_cluster`` (the shared
+cluster factory every experiment uses) asks the active collector to
+instrument each cluster it builds — a span tracer is installed on the
+cluster's producers and a resource sampler starts ticking — and the CLI
+flushes one trace bundle per instrumented run at the end.
+
+Worker processes spawned by ``--jobs`` never inherit the collector, so
+parallel sweeps simply emit no spans from their children; run tracing
+with ``--jobs 1`` (the default) to capture everything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .export import export_trace
+from .sampler import ResourceSampler
+from .spans import SpanTracer
+
+__all__ = ["TraceCollector", "activate", "deactivate", "active_collector"]
+
+_active: Optional["TraceCollector"] = None
+
+
+class TraceCollector:
+    """Accumulates (tracer, sampler, cluster) triples for later export."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        sample_interval: float = 0.25,
+        span_limit: int = 1_000_000,
+    ):
+        self.directory = Path(directory)
+        self.sample_interval = sample_interval
+        self.span_limit = span_limit
+        self.label = "run"
+        self._runs: list[tuple[str, SpanTracer, ResourceSampler]] = []
+
+    def set_label(self, label: str) -> None:
+        """Name the bundles of subsequently instrumented clusters."""
+        self.label = label
+
+    def instrument(self, cluster) -> SpanTracer:
+        """Attach a fresh tracer + sampler to a newly built cluster."""
+        tracer = SpanTracer(cluster.env, limit=self.span_limit)
+        cluster.install_spans(tracer)
+        sampler = ResourceSampler(cluster, interval=self.sample_interval)
+        sampler.start()
+        self._runs.append((self.label, tracer, sampler))
+        return tracer
+
+    def flush(self) -> list[Path]:
+        """Write one bundle per instrumented run; returns all paths."""
+        paths: list[Path] = []
+        counters: dict[str, int] = {}
+        for label, tracer, sampler in self._runs:
+            counters[label] = counters.get(label, 0) + 1
+            prefix = f"{label}-{counters[label]:03d}"
+            bundle = export_trace(
+                self.directory, tracer, sampler=sampler, prefix=prefix
+            )
+            paths.extend(bundle.values())
+        self._runs.clear()
+        return paths
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+
+def activate(collector: TraceCollector) -> None:
+    global _active
+    _active = collector
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    return _active

@@ -1,0 +1,368 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL spans.
+
+Two on-disk forms of a span trace:
+
+- **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  One track
+  (process) per node plus a ``client`` track for master/client-side
+  spans; spans are ``"ph": "X"`` complete events placed on lanes
+  (threads) chosen so every lane is strictly well-nested, and resource
+  samples become ``"ph": "C"`` counter tracks.
+- **JSONL span dumps** — one JSON object per line, first line a meta
+  record carrying the ``dropped`` count; round-trips through
+  :func:`read_spans_jsonl`.
+
+:func:`export_trace` writes the full bundle for a run (spans.jsonl,
+trace.json, samples.csv, plus the existing metrics CSVs when a
+collector is given).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .sampler import ResourceSampler, write_samples_csv
+from .spans import Span, SpanKind
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "validate_chrome_trace",
+    "export_trace",
+]
+
+PathLike = Union[str, Path]
+
+_EPS = 1e-9
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _display_name(span: Span) -> str:
+    if span.function:
+        return f"{span.kind}:{span.function}"
+    if span.kind == SpanKind.INVOCATION:
+        return f"invocation#{span.invocation_id}"
+    return span.kind
+
+
+def _assign_lanes(spans: list[Span]) -> list[tuple[Span, int]]:
+    """Greedy interval nesting: place each span on the first lane where
+    it either nests inside the lane's currently-open span or starts
+    after everything on the lane has ended.  Guarantees every lane is
+    strictly well-nested."""
+    ordered = sorted(
+        spans, key=lambda s: (s.start, -(s.duration), s.span_id)
+    )
+    lanes: list[list[Span]] = []  # per-lane stack of open spans
+    placed: list[tuple[Span, int]] = []
+    for span in ordered:
+        end = span.end if span.end is not None else span.start
+        lane_index = None
+        for index, stack in enumerate(lanes):
+            while stack and (stack[-1].end or 0.0) <= span.start + _EPS:
+                stack.pop()
+            if not stack or (
+                stack[-1].start <= span.start + _EPS
+                and end <= (stack[-1].end or 0.0) + _EPS
+            ):
+                lane_index = index
+                break
+        if lane_index is None:
+            lanes.append([])
+            lane_index = len(lanes) - 1
+        lanes[lane_index].append(span)
+        placed.append((span, lane_index))
+    return placed
+
+
+def chrome_trace(
+    spans: list[Span],
+    samples: Optional[list] = None,
+    dropped: int = 0,
+) -> dict:
+    """Build the Chrome trace-event document for a span list."""
+    nodes = sorted({s.node for s in spans if s.node})
+    if samples:
+        nodes = sorted(set(nodes) | {s.node for s in samples})
+    pids = {"client": 1}
+    for index, node in enumerate(nodes, start=2):
+        pids[node] = index
+    events: list[dict] = []
+    for name, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    by_pid: dict[int, list[Span]] = {}
+    for span in spans:
+        by_pid.setdefault(pids.get(span.node or "client", 1), []).append(span)
+    for pid, pid_spans in sorted(by_pid.items()):
+        for span, lane in _assign_lanes(pid_spans):
+            end = span.end if span.end is not None else span.start
+            args = {
+                "workflow": span.workflow,
+                "invocation_id": span.invocation_id,
+                "status": span.status,
+            }
+            if span.function:
+                args["function"] = span.function
+            args.update(span.attrs)
+            events.append(
+                {
+                    "name": _display_name(span),
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": (end - span.start) * _US,
+                    "pid": pid,
+                    "tid": lane,
+                    "args": args,
+                }
+            )
+    mb = 1024.0 * 1024.0
+    for sample in samples or []:
+        pid = pids.get(sample.node)
+        if pid is None:
+            continue
+        ts = sample.time * _US
+        events.append(
+            {
+                "name": "cpu (busy cores)",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "args": {"busy": sample.cpu_busy},
+            }
+        )
+        events.append(
+            {
+                "name": "memory (MB)",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "args": {
+                    "containers": sample.container_mem / mb,
+                    "faastore pool": sample.faastore_pool / mb,
+                    "other": max(
+                        0.0,
+                        sample.mem_reserved
+                        - sample.container_mem
+                        - sample.faastore_pool,
+                    )
+                    / mb,
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "faastore used (MB)",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "args": {"used": sample.faastore_used / mb},
+            }
+        )
+        events.append(
+            {
+                "name": "nic utilization",
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "args": {
+                    "egress": sample.egress_util,
+                    "ingress": sample.ingress_util,
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"dropped_spans": dropped},
+    }
+
+
+def write_chrome_trace(
+    path: PathLike,
+    tracer,
+    sampler: Optional[ResourceSampler] = None,
+    finalize: bool = True,
+) -> Path:
+    """Render a tracer (plus optional sampler) to a Perfetto-loadable file."""
+    if finalize:
+        tracer.finalize()
+    document = chrome_trace(
+        tracer.all_spans(),
+        samples=sampler.samples if sampler is not None else None,
+        dropped=tracer.dropped,
+    )
+    path = Path(path)
+    path.write_text(json.dumps(document))
+    return path
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Structural checks on a trace-event document; returns problems.
+
+    Verifies the required fields on every event and that the ``X``
+    events of each (pid, tid) lane are strictly well-nested.
+    """
+    problems = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    lanes: dict[tuple, list[tuple[float, float]]] = {}
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("X", "C", "M"):
+            problems.append(f"event {index}: unknown ph {ph!r}")
+            continue
+        if "pid" not in event:
+            problems.append(f"event {index}: missing pid")
+            continue
+        if ph != "X":
+            continue
+        for key in ("ts", "dur", "tid", "name"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key}")
+                break
+        else:
+            if event["dur"] < 0:
+                problems.append(f"event {index}: negative dur")
+            lanes.setdefault((event["pid"], event["tid"]), []).append(
+                (event["ts"], event["ts"] + event["dur"])
+            )
+    for lane, intervals in lanes.items():
+        # Equal-start spans nest longest-first (the enclosing span
+        # opens before its children on the stack).
+        intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+        stack: list[tuple[float, float]] = []
+        for start, end in intervals:
+            while stack and stack[-1][1] <= start + _EPS * _US:
+                stack.pop()
+            if stack and end > stack[-1][1] + _EPS * _US:
+                problems.append(
+                    f"lane {lane}: span [{start}, {end}] overlaps "
+                    f"[{stack[-1][0]}, {stack[-1][1]}] without nesting"
+                )
+                break
+            stack.append((start, end))
+    return problems
+
+
+def write_spans_jsonl(path: PathLike, tracer, finalize: bool = True) -> Path:
+    """Dump spans, one JSON object per line (meta record first)."""
+    if finalize:
+        tracer.finalize()
+    spans = tracer.all_spans()
+    path = Path(path)
+    with open(path, "w") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "spans": len(spans),
+                    "dropped": tracer.dropped,
+                    "limit": tracer.limit,
+                }
+            )
+            + "\n"
+        )
+        for span in spans:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "kind": span.kind,
+                        "start": span.start,
+                        "end": span.end,
+                        "workflow": span.workflow,
+                        "invocation_id": span.invocation_id,
+                        "function": span.function,
+                        "node": span.node,
+                        "status": span.status,
+                        "attrs": span.attrs,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def read_spans_jsonl(path: PathLike) -> tuple[list[Span], dict]:
+    """Load a JSONL span dump; returns ``(spans, meta)``."""
+    spans: list[Span] = []
+    meta: dict = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") == "meta":
+                meta = data
+                continue
+            spans.append(
+                Span(
+                    span_id=data["span_id"],
+                    parent_id=data["parent_id"],
+                    kind=data["kind"],
+                    start=data["start"],
+                    end=data["end"],
+                    workflow=data.get("workflow", ""),
+                    invocation_id=data.get("invocation_id", 0),
+                    function=data.get("function", ""),
+                    node=data.get("node", ""),
+                    status=data.get("status", "ok"),
+                    attrs=data.get("attrs", {}),
+                )
+            )
+    return spans, meta
+
+
+def export_trace(
+    directory: PathLike,
+    tracer,
+    sampler: Optional[ResourceSampler] = None,
+    metrics=None,
+    prefix: str = "run",
+) -> dict[str, Path]:
+    """Write one run's full trace bundle into ``directory``.
+
+    Produces ``<prefix>-spans.jsonl`` and ``<prefix>-trace.json``
+    (Perfetto), plus ``<prefix>-samples.csv`` when a sampler is given
+    and the standard metrics CSVs when a collector is given.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tracer.finalize()
+    paths = {
+        "spans": write_spans_jsonl(
+            directory / f"{prefix}-spans.jsonl", tracer, finalize=False
+        ),
+        "perfetto": write_chrome_trace(
+            directory / f"{prefix}-trace.json",
+            tracer,
+            sampler=sampler,
+            finalize=False,
+        ),
+    }
+    if sampler is not None:
+        samples_path = directory / f"{prefix}-samples.csv"
+        write_samples_csv(sampler.samples, samples_path)
+        paths["samples"] = samples_path
+    if metrics is not None:
+        from ..metrics.export import export_metrics
+
+        paths.update(export_metrics(metrics, directory, prefix=prefix))
+    return paths

@@ -1,0 +1,189 @@
+"""Time-series resource telemetry on a simulated-time cadence.
+
+A :class:`ResourceSampler` runs as a simulation process and, every
+``interval`` simulated seconds, snapshots each node of the cluster:
+CPU-core occupancy, memory (container-provisioned vs. reclaimed
+FaaStore pool, Eq. 1-2), FaaStore bytes resident, and per-link
+(egress/ingress) utilization of the node's NIC — the instantaneous sum
+of allocated flow rates over the link bandwidth.
+
+One :class:`Sample` row per node per tick; the initial snapshot is
+taken at :meth:`ResourceSampler.start` time, so a sampling interval
+longer than the whole run still yields one sample per node.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Union
+
+__all__ = ["Sample", "ResourceSampler", "write_samples_csv", "read_samples_csv"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One node's resource snapshot at one simulated instant."""
+
+    time: float
+    node: str
+    cpu_busy: int
+    cpu_cores: int
+    mem_reserved: float
+    mem_capacity: float
+    container_mem: float  # provisioned to containers (Eq. 1 numerator)
+    faastore_pool: float  # reclaimed into the FaaStore pool (Eq. 2)
+    faastore_used: float  # bytes of workflow data resident in the pool
+    containers: int
+    egress_util: float  # fraction of NIC egress bandwidth in use
+    ingress_util: float
+    egress_bytes: float  # cumulative bytes carried so far
+    ingress_bytes: float
+
+    @property
+    def cpu_util(self) -> float:
+        return self.cpu_busy / self.cpu_cores if self.cpu_cores else 0.0
+
+    @property
+    def mem_util(self) -> float:
+        return self.mem_reserved / self.mem_capacity if self.mem_capacity else 0.0
+
+
+def _link_util(link) -> float:
+    if link.bandwidth <= 0:
+        return 0.0
+    return min(1.0, sum(f.rate for f in link.flows) / link.bandwidth)
+
+
+class ResourceSampler:
+    """Snapshots a cluster's nodes every ``interval`` simulated seconds."""
+
+    def __init__(self, cluster, interval: float = 0.25):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.interval = float(interval)
+        self.samples: list[Sample] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Take the initial snapshot and begin the periodic process."""
+        if self._started:
+            return
+        self._started = True
+        self.take_sample()
+        self.env.process(self._run(), name="obs:resource-sampler")
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self.take_sample()
+
+    def _nodes(self):
+        return [*self.cluster.workers, self.cluster.storage_node]
+
+    def take_sample(self) -> None:
+        """Append one :class:`Sample` per node at the current time."""
+        now = self.env.now
+        for node in self._nodes():
+            nic = node.nic
+            self.samples.append(
+                Sample(
+                    time=now,
+                    node=node.name,
+                    cpu_busy=node.cpu.busy,
+                    cpu_cores=node.cpu.cores,
+                    mem_reserved=node.memory.reserved,
+                    mem_capacity=node.memory.capacity,
+                    container_mem=node.memory.reserved_by_tag("container"),
+                    faastore_pool=node.memory.reserved_by_tag("faastore-pool"),
+                    faastore_used=node.memstore.used,
+                    containers=node.containers.total_containers,
+                    egress_util=_link_util(nic.egress),
+                    ingress_util=_link_util(nic.ingress),
+                    egress_bytes=nic.bytes_sent,
+                    ingress_bytes=nic.bytes_received,
+                )
+            )
+
+    # -- aggregation -----------------------------------------------------
+    def of_node(self, node: str) -> list[Sample]:
+        return [s for s in self.samples if s.node == node]
+
+    def node_table(self) -> list[list]:
+        """Per-node utilization summary rows (mean/peak over samples)."""
+        rows = []
+        by_node: dict[str, list[Sample]] = {}
+        for sample in self.samples:
+            by_node.setdefault(sample.node, []).append(sample)
+        for node, samples in by_node.items():
+            n = len(samples)
+            rows.append(
+                [
+                    node,
+                    n,
+                    sum(s.cpu_util for s in samples) / n,
+                    max(s.cpu_util for s in samples),
+                    sum(s.mem_util for s in samples) / n,
+                    max(s.faastore_used for s in samples),
+                    sum(s.egress_util for s in samples) / n,
+                    sum(s.ingress_util for s in samples) / n,
+                ]
+            )
+        return rows
+
+    NODE_TABLE_HEADERS = [
+        "node",
+        "samples",
+        "cpu avg",
+        "cpu peak",
+        "mem avg",
+        "faastore peak (B)",
+        "egress avg",
+        "ingress avg",
+    ]
+
+
+_SAMPLE_FIELDS = [f.name for f in fields(Sample)]
+
+
+def write_samples_csv(samples: list[Sample], path: PathLike) -> int:
+    """One row per (tick, node); returns the row count."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SAMPLE_FIELDS)
+        for sample in samples:
+            writer.writerow(
+                [getattr(sample, name) for name in _SAMPLE_FIELDS]
+            )
+    return len(samples)
+
+
+def read_samples_csv(path: PathLike) -> list[Sample]:
+    """Load samples written by :func:`write_samples_csv`."""
+    samples = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            samples.append(
+                Sample(
+                    time=float(row["time"]),
+                    node=row["node"],
+                    cpu_busy=int(row["cpu_busy"]),
+                    cpu_cores=int(row["cpu_cores"]),
+                    mem_reserved=float(row["mem_reserved"]),
+                    mem_capacity=float(row["mem_capacity"]),
+                    container_mem=float(row["container_mem"]),
+                    faastore_pool=float(row["faastore_pool"]),
+                    faastore_used=float(row["faastore_used"]),
+                    containers=int(row["containers"]),
+                    egress_util=float(row["egress_util"]),
+                    ingress_util=float(row["ingress_util"]),
+                    egress_bytes=float(row["egress_bytes"]),
+                    ingress_bytes=float(row["ingress_bytes"]),
+                )
+            )
+    return samples

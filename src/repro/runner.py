@@ -73,8 +73,15 @@ def run_workflow(
     fault_rate: float = 0.0,
     max_retries: int = 2,
     seed: int = 13,
+    trace_out: str | Path | None = None,
+    sample_interval: float = 0.25,
 ) -> RunSummary:
-    """Run ``dag`` and return a summary of what happened."""
+    """Run ``dag`` and return a summary of what happened.
+
+    ``trace_out`` turns on span tracing + resource sampling and writes
+    the trace bundle (JSONL spans, Perfetto JSON, samples CSV, metrics
+    CSVs) into that directory.
+    """
     if engine not in ("worker", "master"):
         raise ValueError("engine must be 'worker' or 'master'")
     env = Environment()
@@ -82,6 +89,17 @@ def run_workflow(
         env,
         ClusterConfig(workers=workers, storage_bandwidth=bandwidth_mb * MB),
     )
+    span_tracer = None
+    sampler = None
+    if trace_out is not None:
+        from .obs import ResourceSampler, SpanTracer
+
+        # Must precede system construction: engines snapshot
+        # cluster.spans when they are built.
+        span_tracer = SpanTracer(env)
+        cluster.install_spans(span_tracer)
+        sampler = ResourceSampler(cluster, interval=sample_interval)
+        sampler.start()
     tracer = Tracer() if trace else None
     faults = (
         FaultInjector(default_rate=fault_rate, seed=seed)
@@ -121,6 +139,14 @@ def run_workflow(
     else:
         records = run_closed_loop(system, dag.name, invocations)
     metrics = system.metrics
+    trace_paths = None
+    if trace_out is not None:
+        from .obs.export import export_trace
+
+        trace_paths = export_trace(
+            trace_out, span_tracer, sampler=sampler, metrics=metrics,
+            prefix=dag.name,
+        )
     latencies = sorted(r.latency for r in records)
     return RunSummary(
         workflow=dag.name,
@@ -143,6 +169,8 @@ def run_workflow(
         records=records,
         metrics=metrics,
         tracer=tracer,
+        spans=span_tracer,
+        trace_paths=trace_paths,
         system=system,
     )
 
@@ -297,6 +325,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--csv", metavar="DIR", help="export metrics CSVs to DIR"
     )
+    parser.add_argument(
+        "--trace-out", metavar="DIR", default=None,
+        help="record causal spans + resource samples and write the "
+        "trace bundle (Perfetto JSON, JSONL spans, samples CSV) to DIR",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=0.25, metavar="SEC",
+        help="resource-sampler cadence in simulated seconds (default 0.25)",
+    )
     args = parser.parse_args(argv)
     try:
         dag = _load_dag(args.workflow)
@@ -316,6 +353,12 @@ def main(argv: list[str] | None = None) -> int:
         max_retries=args.max_retries,
     )
     if args.trials > 1:
+        if args.trace_out:
+            print(
+                "note: --trace-out is ignored with --trials > 1 "
+                "(trials run in worker processes)",
+                file=sys.stderr,
+            )
         summaries = run_trials(
             args.workflow,
             trials=args.trials,
@@ -325,7 +368,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(_format_trials(summaries))
         return 0
-    summary = run_workflow(dag, trace=args.trace, seed=args.seed, **run_kwargs)
+    summary = run_workflow(
+        dag,
+        trace=args.trace,
+        seed=args.seed,
+        trace_out=args.trace_out,
+        sample_interval=args.sample_interval,
+        **run_kwargs,
+    )
     print(_format_summary(summary))
     if args.trace and summary.tracer is not None and summary.records:
         print("\nfirst invocation timeline:")
@@ -335,6 +385,11 @@ def main(argv: list[str] | None = None) -> int:
 
         paths = export_metrics(summary.metrics, args.csv, prefix=dag.name)
         print(f"\nmetrics exported: {paths['invocations']}, {paths['transfers']}")
+    if summary.trace_paths:
+        print(
+            f"\ntrace bundle: {summary.trace_paths['perfetto']} "
+            f"(open in https://ui.perfetto.dev; inspect with faasflow-trace)"
+        )
     return 0
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.spans import NULL_SPANS
 from .container import ContainerPool, ContainerSpec
 from .kernel import Environment, SimulationError
 from .network import MB, Network, NetworkConfig, NIC
@@ -146,6 +147,20 @@ class Cluster:
         )
         self._by_name: dict[str, Node] = {n.name: n for n in self.workers}
         self._by_name[self.storage_node.name] = self.storage_node
+        self.spans = NULL_SPANS
+
+    def install_spans(self, spans) -> None:
+        """Attach a span tracer to every producer in the substrate.
+
+        The network (transfer spans with contention slowdown) and each
+        node's container pool (cold-start / warm-reuse / evict events)
+        record into ``spans``; engines built on this cluster pick it up
+        as their default tracer too.
+        """
+        self.spans = spans
+        self.network.spans = spans
+        for node in [*self.workers, self.storage_node]:
+            node.containers.spans = spans
 
     def node(self, name: str) -> Node:
         try:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from ..obs.spans import NULL_SPANS, SpanKind
 from .kernel import Environment, Event, SimulationError
 from .resources import CPUAllocator, MemoryAccount
 
@@ -168,6 +169,7 @@ class ContainerPool:
         self._function_limits: dict[str, float] = {}
         self.cold_starts = 0
         self.warm_reuses = 0
+        self.spans = NULL_SPANS
 
     def set_function_limit(self, function: str, limit: float) -> None:
         """Create future containers of ``function`` with ``limit`` bytes.
@@ -227,6 +229,12 @@ class ContainerPool:
             container._expiry_version += 1
             container.invocations += 1
             self.warm_reuses += 1
+            if self.spans.enabled:
+                self.spans.event(
+                    SpanKind.CONTAINER, node=self.node_name,
+                    function=function, lifecycle="warm-reuse",
+                    container=container.container_id,
+                )
             event.succeed(container)
             return event
         if self._can_cold_start(function):
@@ -256,6 +264,12 @@ class ContainerPool:
             if request.version == container.version:
                 container.invocations += 1
                 self.warm_reuses += 1
+                if self.spans.enabled:
+                    self.spans.event(
+                        SpanKind.CONTAINER, node=self.node_name,
+                        function=container.function, lifecycle="warm-reuse",
+                        container=container.container_id,
+                    )
                 request.event.succeed(container)
             else:
                 # Waiter wants a newer (red-black) version: recycle this
@@ -337,11 +351,18 @@ class ContainerPool:
         container = Container(self, function, version, handle, limit)
         self._all.setdefault(function, []).append(container)
         self.cold_starts += 1
+        started = self.env.now
         timer = self.env.timeout(self.spec.cold_start_time)
 
         def _ready(_: Event) -> None:
             container.state = ContainerState.BUSY
             container.invocations += 1
+            if self.spans.enabled:
+                self.spans.record(
+                    SpanKind.CONTAINER, started, node=self.node_name,
+                    function=function, lifecycle="cold-start",
+                    container=container.container_id,
+                )
             event.succeed(container)
 
         timer.callbacks.append(_ready)
@@ -349,8 +370,16 @@ class ContainerPool:
     def _destroy(self, container: Container, serve_waiting: bool = True) -> None:
         if container.state == ContainerState.DEAD:
             return
+        was_busy = container.state == ContainerState.BUSY
         container.state = ContainerState.DEAD
         self.memory.free(container._memory_handle)
+        if self.spans.enabled:
+            self.spans.event(
+                SpanKind.CONTAINER, node=self.node_name,
+                function=container.function,
+                lifecycle="crash" if was_busy else "evict",
+                container=container.container_id,
+            )
         peers = self._all.get(container.function, [])
         if container in peers:
             peers.remove(container)

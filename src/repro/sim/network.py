@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.spans import NULL_SPANS, SpanKind
 from .kernel import Environment, Event, SimulationError
 
 __all__ = ["NIC", "Network", "Flow", "TransferRecord", "MB", "KB"]
@@ -162,6 +163,7 @@ class Network:
         self.total_bytes = 0.0
         self.message_count = 0
         self.flow_count = 0
+        self.spans = NULL_SPANS
 
     # -- topology ------------------------------------------------------
     def attach(self, name: str, bandwidth: float) -> NIC:
@@ -254,6 +256,27 @@ class Network:
         src.egress.bytes_carried += size
         if dst is not src:
             dst.ingress.bytes_carried += size
+        if self.spans.enabled:
+            # Contention-induced slowdown: actual wire time over the
+            # uncontended time the same bytes would have taken.
+            actual = self.env.now - started
+            if src is dst:
+                ideal = size / self.config.local_copy_rate
+            else:
+                ideal = self.config.latency + size / min(
+                    src.bandwidth, dst.bandwidth
+                )
+            self.spans.record(
+                SpanKind.NET,
+                started,
+                self.env.now,
+                node=src.name,
+                transfer=kind,
+                dst=dst.name,
+                size=size,
+                tag=tag,
+                slowdown=round(actual / ideal, 4) if ideal > 0 else 1.0,
+            )
         if self.config.record_transfers and len(self.records) < self.config.record_limit:
             self.records.append(
                 TransferRecord(

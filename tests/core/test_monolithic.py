@@ -36,6 +36,47 @@ class TestMonolithicExecution:
         assert record.latency == pytest.approx(0.3, rel=1e-3)
 
 
+class TestMonolithicTracing:
+    def test_tracer_brackets_invocation(self, env, cluster):
+        from repro.core import Kind, Tracer
+
+        tracer = Tracer()
+        system = MonolithicSystem(cluster, tracer=tracer)
+        dag = linear_dag(n=3)
+        system.register(dag)
+        record = env.run(until=env.process(system.invoke("lin")))
+        events = tracer.of_invocation(record.invocation_id)
+        assert events[0].kind == Kind.INVOCATION_START
+        assert events[-1].kind == Kind.INVOCATION_END
+        assert events[-1].detail == "ok"
+        executed = [e for e in events if e.kind == Kind.FUNCTION_EXECUTED]
+        assert {e.function for e in executed} == set(dag.node_names)
+        assert all(e.node == "worker-0" for e in executed)
+
+    def test_span_tracer_produces_tree(self, env, cluster):
+        from repro.obs import SpanKind, SpanTracer
+
+        tracer = SpanTracer(env)
+        cluster.install_spans(tracer)
+        system = MonolithicSystem(cluster)
+        dag = linear_dag(n=3)
+        system.register(dag)
+        record = env.run(until=env.process(system.invoke("lin")))
+        root = tracer.root_of(record.invocation_id)
+        assert root is not None and root.status == "ok"
+        fn_spans = tracer.of_kind(SpanKind.FUNCTION)
+        assert {s.function for s in fn_spans} == set(dag.node_names)
+        assert all(s.parent_id == root.span_id for s in fn_spans)
+        # No containers in a monolith: no cold-start or container spans.
+        assert tracer.of_kind(SpanKind.COLD_START) == []
+        assert tracer.of_kind(SpanKind.CONTAINER) == []
+
+    def test_untraced_by_default(self, env, cluster):
+        system = MonolithicSystem(cluster)
+        assert system.tracer is None
+        assert system.spans.enabled is False
+
+
 class TestDataMovementComparison:
     def test_each_output_counted_once(self, env, cluster):
         system = MonolithicSystem(cluster)

@@ -38,6 +38,17 @@ class TestTracerBasics:
         assert len(tracer.events) == 2
         assert tracer.dropped == 3
 
+    def test_limit_keeps_newest_events(self):
+        tracer = Tracer(limit=3)
+        for i in range(7):
+            tracer.record(float(i), Kind.STATE_SYNC, "w", i)
+        # Drop-oldest: the tail of the stream survives, not the head.
+        assert [e.time for e in tracer.events] == [4.0, 5.0, 6.0]
+        assert tracer.dropped == 4
+        tracer.record(7.0, Kind.STATE_SYNC, "w", 7)
+        assert [e.time for e in tracer.events] == [5.0, 6.0, 7.0]
+        assert tracer.dropped == 5
+
     def test_invalid_limit_rejected(self):
         with pytest.raises(ValueError):
             Tracer(limit=0)

@@ -82,6 +82,35 @@ class TestRoundTrip:
         assert paths["transfers"].exists()
 
 
+class TestBoolParsing:
+    def test_accepted_spellings(self, tmp_path):
+        from repro.metrics.export import _parse_bool
+
+        for text in ("True", "true", "TRUE", "1", "yes", "Y", "t", " true "):
+            assert _parse_bool(text) is True
+        for text in ("False", "false", "0", "no", "N", "f", ""):
+            assert _parse_bool(text) is False
+
+    def test_junk_raises_instead_of_collapsing(self):
+        from repro.metrics.export import _parse_bool
+
+        with pytest.raises(ValueError):
+            _parse_bool("maybe")
+        with pytest.raises(ValueError):
+            _parse_bool("2")
+
+    def test_hand_edited_csv_round_trips(self, tmp_path):
+        collector = populated_collector()
+        path = tmp_path / "tr.csv"
+        write_transfers_csv(collector, path)
+        # A hand-edited file may use lowercase/numeric booleans.
+        text = path.read_text().replace("True", "true").replace("False", "0")
+        path.write_text(text)
+        loaded = read_transfers_csv(path)
+        assert loaded[0].local is True
+        assert loaded[1].local is False
+
+
 class TestResultCSV:
     def test_result_table_written_with_notes(self, tmp_path):
         from repro.experiments import ExperimentResult
@@ -99,6 +128,31 @@ class TestResultCSV:
         assert text.startswith("# calibrated against the paper")
         assert "benchmark,value" in text
         assert "Cyc,1.5" in text
+
+    def test_multiline_note_stays_commented(self, tmp_path):
+        import csv
+
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            headers=["benchmark", "value"],
+            rows=[["Cyc", 1.5]],
+            notes=["first line\nsecond line", ""],
+        )
+        path = tmp_path / "figX.csv"
+        write_result_csv(result, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# first line"
+        assert lines[1] == "# second line"
+        assert lines[2] == "# "
+        assert lines[3] == "benchmark,value"
+        # The data region still parses: skip comments, read the table.
+        with open(path) as handle:
+            data = [l for l in handle if not l.startswith("#")]
+        rows = list(csv.reader(data))
+        assert rows == [["benchmark", "value"], ["Cyc", "1.5"]]
 
 
 class TestCLIIntegration:

@@ -1,0 +1,32 @@
+"""Shared fixtures for observability tests."""
+
+import pytest
+
+from repro.obs import SpanTracer
+from repro.sim import Cluster, ClusterConfig, ContainerSpec, Environment
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    """Small fast cluster: 3 workers, short cold starts."""
+    config = ClusterConfig(
+        workers=3,
+        container=ContainerSpec(cold_start_time=0.1),
+        storage_bandwidth=50 * MB,
+    )
+    return Cluster(env, config)
+
+
+@pytest.fixture
+def traced_cluster(env, cluster):
+    """The same cluster with a span tracer installed on its producers."""
+    tracer = SpanTracer(env)
+    cluster.install_spans(tracer)
+    return cluster, tracer

@@ -1,0 +1,232 @@
+"""Integration: span-tree invariants and measured latency decomposition.
+
+The acceptance bar for the observability layer: on a fault-injection
+workload, every invocation's breakdown components sum to its end-to-end
+latency within 1e-6 — in all three modes — and the span trees respect
+the causal invariants (roots bracket their children, data-plane spans
+parent under their function span).
+"""
+
+import pytest
+
+from repro.clients import run_closed_loop
+from repro.core import (
+    EngineConfig,
+    FaaSFlowSystem,
+    HyperFlowServerlessSystem,
+    MonolithicSystem,
+)
+from repro.metrics import InvocationStatus
+from repro.obs import BREAKDOWN_COMPONENTS, SpanKind, SpanTracer
+
+from ..core.conftest import all_on, fanout_dag, linear_dag, round_robin
+
+_EPS = 1e-9
+
+
+def traced(cluster):
+    tracer = SpanTracer(cluster.env)
+    cluster.install_spans(tracer)
+    return tracer
+
+
+def run_faasflow(cluster, dag, invocations, **config_kwargs):
+    from repro.core import FaultInjector
+
+    faults = None
+    if config_kwargs.pop("fault_rate", 0.0):
+        faults = FaultInjector(default_rate=0.3, seed=7)
+    system = FaaSFlowSystem(
+        cluster, EngineConfig(**config_kwargs), faults=faults
+    )
+    system.deploy(dag, round_robin(dag, cluster.worker_names()))
+    records = run_closed_loop(system, dag.name, invocations)
+    return system, records
+
+
+def assert_breakdown_sums(metrics, records):
+    assert records
+    for record in records:
+        parts = metrics.breakdown(record.invocation_id)
+        assert parts["measured"] is True
+        total = sum(parts[key] for key in BREAKDOWN_COMPONENTS)
+        assert total == pytest.approx(record.latency, abs=1e-6)
+
+
+class TestBreakdownWorkerSP:
+    def test_sums_to_e2e_with_faults(self, env, cluster):
+        tracer = traced(cluster)
+        dag = fanout_dag(branches=4)
+        system, records = run_faasflow(
+            cluster, dag, 10, fault_rate=0.3, max_retries=1
+        )
+        statuses = {r.status for r in records}
+        assert InvocationStatus.FAILED in statuses  # faults actually fired
+        assert_breakdown_sums(system.metrics, records)
+        assert system.metrics.spans is tracer
+
+    def test_components_plausible(self, env, cluster):
+        traced(cluster)
+        dag = linear_dag(n=3)
+        system, records = run_faasflow(cluster, dag, 3)
+        parts = system.metrics.breakdown(records[0].invocation_id)
+        assert parts["execute"] > 0
+        assert parts["cold_start"] > 0  # first invocation cold-starts
+        assert parts["transfer"] > 0
+        warm = system.metrics.breakdown(records[-1].invocation_id)
+        assert warm["cold_start"] == 0.0
+
+    def test_timeout_invocation_still_sums(self, env, cluster):
+        traced(cluster)
+        dag = linear_dag(n=3, service_time=0.5)
+        system = FaaSFlowSystem(cluster, EngineConfig(execution_timeout=0.3))
+        system.deploy(dag, all_on(dag, "worker-0"))
+        records = run_closed_loop(system, dag.name, 2)
+        assert all(r.status == InvocationStatus.TIMEOUT for r in records)
+        assert_breakdown_sums(system.metrics, records)
+
+    def test_mean_breakdown_aggregates(self, env, cluster):
+        traced(cluster)
+        dag = linear_dag(n=2)
+        system, records = run_faasflow(cluster, dag, 4)
+        mean = system.metrics.mean_breakdown(dag.name)
+        total = sum(mean[key] for key in BREAKDOWN_COMPONENTS)
+        assert total == pytest.approx(mean["e2e"], abs=1e-6)
+
+
+class TestBreakdownMasterSP:
+    def test_sums_to_e2e_with_faults(self, env, cluster):
+        from repro.core import FaultInjector
+
+        traced(cluster)
+        dag = fanout_dag(branches=4)
+        system = HyperFlowServerlessSystem(
+            cluster,
+            EngineConfig(max_retries=1),
+            faults=FaultInjector(default_rate=0.3, seed=7),
+        )
+        system.register(dag, round_robin(dag, cluster.worker_names()))
+        records = run_closed_loop(system, dag.name, 10)
+        assert {r.status for r in records} & {
+            InvocationStatus.FAILED, InvocationStatus.OK
+        }
+        assert_breakdown_sums(system.metrics, records)
+
+    def test_sync_component_nonzero(self, env, cluster):
+        traced(cluster)
+        dag = linear_dag(n=3)
+        system = HyperFlowServerlessSystem(cluster, EngineConfig())
+        system.register(dag, all_on(dag, "worker-0"))
+        records = run_closed_loop(system, dag.name, 2)
+        parts = system.metrics.breakdown(records[-1].invocation_id)
+        # MasterSP pays two control-plane hops per function.
+        assert parts["sync"] > 0
+
+
+class TestBreakdownMonolithic:
+    def test_sums_to_e2e(self, env, cluster):
+        traced(cluster)
+        dag = fanout_dag(branches=12)  # oversubscribes 8 cores: queue-wait
+        system = MonolithicSystem(cluster)
+        system.register(dag)
+        records = run_closed_loop(system, dag.name, 3)
+        assert all(r.status == InvocationStatus.OK for r in records)
+        assert_breakdown_sums(system.metrics, records)
+
+    def test_execute_dominates(self, env, cluster):
+        traced(cluster)
+        dag = linear_dag(n=3, output_size=0)
+        system = MonolithicSystem(cluster)
+        system.register(dag)
+        records = run_closed_loop(system, dag.name, 1)
+        parts = system.metrics.breakdown(records[0].invocation_id)
+        assert parts["execute"] == pytest.approx(
+            records[0].latency, rel=0.05
+        )
+
+
+class TestStaticFallback:
+    def test_without_spans_static_subtraction(self, env, cluster):
+        dag = linear_dag(n=2)
+        system, records = run_faasflow(cluster, dag, 1)
+        parts = system.metrics.breakdown(records[0].invocation_id)
+        assert parts["measured"] is False
+        assert parts["execute"] + parts["engine"] == pytest.approx(
+            records[0].latency, abs=1e-9
+        )
+
+    def test_unknown_invocation_raises(self, env, cluster):
+        dag = linear_dag(n=2)
+        system, _ = run_faasflow(cluster, dag, 1)
+        with pytest.raises(KeyError):
+            system.metrics.breakdown(999999)
+
+
+class TestSpanTreeInvariants:
+    def test_tree_shape(self, env, cluster):
+        tracer = traced(cluster)
+        dag = fanout_dag(branches=3)
+        system, records = run_faasflow(cluster, dag, 2)
+        for record in records:
+            if record.status != InvocationStatus.OK:
+                continue
+            inv = record.invocation_id
+            spans = tracer.spans_of(inv)
+            roots = [s for s in spans if s.kind == SpanKind.INVOCATION]
+            assert len(roots) == 1
+            root = roots[0]
+            assert root.start == pytest.approx(record.started_at)
+            assert root.end == pytest.approx(record.finished_at)
+            by_id = {s.span_id: s for s in spans}
+            fn_spans = [s for s in spans if s.kind == SpanKind.FUNCTION]
+            assert {s.function for s in fn_spans} == set(dag.node_names)
+            for span in fn_spans:
+                assert span.parent_id == root.span_id
+                assert span.start >= root.start - _EPS
+                assert span.end <= root.end + _EPS
+            for span in spans:
+                if span.kind in (
+                    SpanKind.EXECUTE, SpanKind.PUT, SpanKind.GET
+                ) and span.parent_id is not None:
+                    parent = by_id[span.parent_id]
+                    assert parent.kind == SpanKind.FUNCTION
+                    assert span.start >= parent.start - _EPS
+                    assert span.end <= parent.end + _EPS
+
+    def test_execute_spans_cover_every_instance(self, env, cluster):
+        tracer = traced(cluster)
+        dag = linear_dag(n=3)
+        system, records = run_faasflow(cluster, dag, 1)
+        executes = tracer.of_kind(SpanKind.EXECUTE)
+        assert len(executes) == 3
+        assert all(s.status == "ok" for s in executes)
+
+    def test_crashed_execute_marked(self, env, cluster):
+        tracer = traced(cluster)
+        dag = linear_dag(n=2)
+        system, records = run_faasflow(
+            cluster, dag, 4, fault_rate=0.3, max_retries=2
+        )
+        crashed = [
+            s for s in tracer.of_kind(SpanKind.EXECUTE)
+            if s.status == "crashed"
+        ]
+        assert crashed  # the injector fired at least once
+
+    def test_substrate_spans_present(self, env, cluster):
+        tracer = traced(cluster)
+        dag = linear_dag(n=3)
+        run_faasflow(cluster, dag, 1)
+        assert tracer.of_kind(SpanKind.NET)
+        cold = [
+            s for s in tracer.of_kind(SpanKind.CONTAINER)
+            if s.attrs.get("lifecycle") == "cold-start"
+        ]
+        assert len(cold) == 3
+
+    def test_cold_start_spans_only_first_run(self, env, cluster):
+        tracer = traced(cluster)
+        dag = linear_dag(n=3)
+        system, _ = run_faasflow(cluster, dag, 2)
+        colds = tracer.of_kind(SpanKind.COLD_START)
+        assert len(colds) == 3

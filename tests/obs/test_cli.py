@@ -1,0 +1,93 @@
+"""End-to-end CLI tests: run_workflow(--trace-out) then faasflow-trace."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as trace_main
+from repro.runner import run_workflow
+
+from ..core.conftest import linear_dag
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tmp_path_factory):
+    """One traced run, shared by every CLI test in the module."""
+    out = tmp_path_factory.mktemp("traceout")
+    dag = linear_dag(name="clitest", n=3)
+    summary = run_workflow(
+        dag, invocations=3, workers=3, trace_out=out, sample_interval=0.1
+    )
+    assert summary.trace_paths
+    return out
+
+
+class TestRunnerTraceOut:
+    def test_bundle_files_written(self, bundle_dir):
+        names = {p.name for p in bundle_dir.iterdir()}
+        assert "clitest-spans.jsonl" in names
+        assert "clitest-trace.json" in names
+        assert "clitest-samples.csv" in names
+
+    def test_no_trace_out_no_spans(self):
+        summary = run_workflow(linear_dag(n=2), invocations=1, workers=3)
+        assert summary.spans is None
+        assert not summary.trace_paths
+
+
+class TestTraceCli:
+    def test_summary_exit_zero(self, bundle_dir, capsys):
+        assert trace_main([str(bundle_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "== clitest ==" in out
+        assert "mean latency decomposition" in out
+        assert "execute" in out
+        assert "slowest function spans" in out
+
+    def test_tree_default_invocation(self, bundle_dir, capsys):
+        assert trace_main([str(bundle_dir), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "invocation" in out
+        assert "execute" in out
+
+    def test_tree_unknown_invocation(self, bundle_dir, capsys):
+        assert trace_main([str(bundle_dir), "--tree", "424242"]) == 1
+        assert "no spans for invocation 424242" in capsys.readouterr().out
+
+    def test_nodes_table(self, bundle_dir, capsys):
+        assert trace_main([str(bundle_dir), "--nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "worker-0" in out
+        assert "cpu avg" in out
+
+    def test_validate_ok(self, bundle_dir, capsys):
+        assert trace_main([str(bundle_dir), "--validate"]) == 0
+        assert "well-nested" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_trace(self, bundle_dir, capsys):
+        trace_path = bundle_dir / "clitest-trace.json"
+        good = trace_path.read_text()
+        try:
+            document = json.loads(good)
+            del document["traceEvents"]
+            trace_path.write_text(json.dumps(document))
+            assert trace_main([str(bundle_dir), "--validate"]) == 1
+            assert "INVALID" in capsys.readouterr().out
+        finally:
+            trace_path.write_text(good)
+
+    def test_export_perfetto(self, bundle_dir, tmp_path, capsys):
+        out_path = tmp_path / "merged.json"
+        args = [str(bundle_dir), "--export-perfetto", str(out_path)]
+        assert trace_main(args) == 0
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+
+    def test_single_file_path(self, bundle_dir, capsys):
+        spans_file = bundle_dir / "clitest-spans.jsonl"
+        assert trace_main([str(spans_file)]) == 0
+        assert "clitest" in capsys.readouterr().out
+
+    def test_empty_directory_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            trace_main([str(tmp_path)])

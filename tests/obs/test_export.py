@@ -1,0 +1,176 @@
+"""Exporter tests: Chrome trace structure, validation, JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.clients import run_closed_loop
+from repro.core import EngineConfig, FaaSFlowSystem, FaultInjector
+from repro.obs import (
+    ResourceSampler,
+    SpanKind,
+    SpanTracer,
+    chrome_trace,
+    export_trace,
+    read_spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+from ..core.conftest import linear_dag, round_robin
+
+
+@pytest.fixture
+def traced_run(env, cluster):
+    """A short traced run with at least one failed invocation."""
+    tracer = SpanTracer(env)
+    cluster.install_spans(tracer)
+    dag = linear_dag(n=3)
+    system = FaaSFlowSystem(
+        cluster,
+        EngineConfig(max_retries=0),
+        faults=FaultInjector(default_rate=0.25, seed=11),
+    )
+    system.deploy(dag, round_robin(dag, cluster.worker_names()))
+    records = run_closed_loop(system, dag.name, 6)
+    return tracer, records
+
+
+class TestChromeTrace:
+    def test_document_structure(self, traced_run):
+        tracer, _ = traced_run
+        tracer.finalize()
+        document = chrome_trace(tracer.all_spans(), dropped=tracer.dropped)
+        events = document["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metas}
+        assert "client" in names
+        assert {"worker-0", "worker-1", "worker-2"} <= names
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(tracer.all_spans())
+        assert all(e["dur"] >= 0 for e in xs)
+        assert document["metadata"]["dropped_spans"] == 0
+
+    def test_counter_events_from_samples(self, env, cluster, traced_run):
+        tracer, _ = traced_run
+        sampler = ResourceSampler(cluster, interval=0.1)
+        sampler.take_sample()
+        document = chrome_trace(tracer.all_spans(), samples=sampler.samples)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert "cpu (busy cores)" in names
+        assert "memory (MB)" in names
+
+    def test_validate_passes_real_trace(self, traced_run):
+        tracer, _ = traced_run
+        document = chrome_trace(tracer.all_spans())
+        assert validate_chrome_trace(document) == []
+
+    def test_validate_catches_missing_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+
+    def test_validate_catches_bad_ph_and_fields(self):
+        document = {
+            "traceEvents": [
+                {"ph": "Z", "pid": 1},
+                {"ph": "X", "tid": 0},  # no pid
+                {"ph": "X", "pid": 1, "tid": 0, "name": "x"},  # no ts/dur
+                {
+                    "ph": "X", "pid": 1, "tid": 0, "name": "x",
+                    "ts": 0, "dur": -5,
+                },
+            ]
+        }
+        problems = validate_chrome_trace(document)
+        assert len(problems) == 4
+
+    def test_validate_catches_lane_overlap(self):
+        document = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 0, "name": "a",
+                 "ts": 0.0, "dur": 10.0},
+                {"ph": "X", "pid": 1, "tid": 0, "name": "b",
+                 "ts": 5.0, "dur": 10.0},  # straddles a's end
+            ]
+        }
+        problems = validate_chrome_trace(document)
+        assert problems and "without nesting" in problems[0]
+
+    def test_validate_accepts_equal_start_nesting(self):
+        # The enclosing span and its first child can share a start time;
+        # the validator must treat longest-first ordering as nested.
+        document = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 0, "name": "parent",
+                 "ts": 0.0, "dur": 10.0},
+                {"ph": "X", "pid": 1, "tid": 0, "name": "child",
+                 "ts": 0.0, "dur": 4.0},
+            ]
+        }
+        assert validate_chrome_trace(document) == []
+
+    def test_write_chrome_trace_loads_as_json(self, tmp_path, traced_run):
+        tracer, _ = traced_run
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_spans(self, tmp_path, traced_run):
+        tracer, records = traced_run
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", tracer)
+        loaded, meta = read_spans_jsonl(path)
+        original = tracer.all_spans()
+        assert meta["spans"] == len(original)
+        assert meta["dropped"] == 0
+        assert len(loaded) == len(original)
+        for before, after in zip(original, loaded):
+            assert after.span_id == before.span_id
+            assert after.parent_id == before.parent_id
+            assert after.kind == before.kind
+            assert after.start == before.start
+            assert after.end == before.end
+            assert after.status == before.status
+            assert after.attrs == before.attrs
+
+    def test_non_ok_statuses_survive(self, tmp_path, traced_run):
+        tracer, records = traced_run
+        assert any(r.status != "ok" for r in records)
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", tracer)
+        loaded, _ = read_spans_jsonl(path)
+        statuses = {s.status for s in loaded}
+        assert "failed" in statuses or "crashed" in statuses
+
+    def test_dropped_count_in_meta(self, tmp_path, env):
+        tracer = SpanTracer(env, limit=2)
+        for i in range(5):
+            tracer.record(SpanKind.EXECUTE, float(i), float(i) + 0.5)
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", tracer)
+        loaded, meta = read_spans_jsonl(path)
+        assert len(loaded) == 2
+        assert meta["dropped"] == 3
+
+
+class TestExportTrace:
+    def test_bundle_paths(self, tmp_path, env, cluster, traced_run):
+        tracer, _ = traced_run
+        sampler = ResourceSampler(cluster)
+        sampler.take_sample()
+        paths = export_trace(
+            tmp_path / "bundle", tracer, sampler=sampler, prefix="lin"
+        )
+        assert paths["spans"].name == "lin-spans.jsonl"
+        assert paths["perfetto"].name == "lin-trace.json"
+        assert paths["samples"].name == "lin-samples.csv"
+        for path in paths.values():
+            assert path.exists()
+
+    def test_bundle_without_sampler(self, tmp_path, traced_run):
+        tracer, _ = traced_run
+        paths = export_trace(tmp_path, tracer)
+        assert set(paths) == {"spans", "perfetto"}

@@ -1,0 +1,101 @@
+"""Resource-sampler cadence, content, and CSV round-trip tests."""
+
+import pytest
+
+from repro.clients import run_closed_loop
+from repro.core import EngineConfig, FaaSFlowSystem
+from repro.obs import ResourceSampler, read_samples_csv, write_samples_csv
+
+from ..core.conftest import linear_dag, round_robin
+
+# 3 workers + the remote-storage node
+NODES = 4
+
+
+class TestCadence:
+    def test_initial_sample_at_start(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=10.0)
+        sampler.start()
+        assert len(sampler.samples) == NODES
+        assert all(s.time == 0.0 for s in sampler.samples)
+
+    def test_interval_longer_than_run_still_one_tick(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=100.0)
+        sampler.start()
+        env.run(until=1.0)
+        assert len(sampler.samples) == NODES  # just the initial tick
+
+    def test_tick_count_matches_interval(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.25)
+        sampler.start()
+        env.run(until=1.0)
+        # ticks at t=0, 0.25, 0.5, 0.75, 1.0
+        assert len(sampler.samples) == 5 * NODES
+
+    def test_start_is_idempotent(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.5)
+        sampler.start()
+        sampler.start()
+        env.run(until=1.0)
+        assert len(sampler.samples) == 3 * NODES
+
+    def test_invalid_interval_rejected(self, env, cluster):
+        with pytest.raises(ValueError):
+            ResourceSampler(cluster, interval=0.0)
+        with pytest.raises(ValueError):
+            ResourceSampler(cluster, interval=-1.0)
+
+
+class TestContent:
+    def test_busy_cpu_visible_during_run(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.05)
+        sampler.start()
+        dag = linear_dag(n=3, service_time=0.2)
+        system = FaaSFlowSystem(cluster, EngineConfig())
+        system.deploy(dag, round_robin(dag, cluster.worker_names()))
+        run_closed_loop(system, dag.name, 2)
+        worker_samples = [
+            s for s in sampler.samples if s.node.startswith("worker-")
+        ]
+        assert any(s.cpu_busy > 0 for s in worker_samples)
+        assert any(s.container_mem > 0 for s in worker_samples)
+        assert any(s.containers > 0 for s in worker_samples)
+        for sample in worker_samples:
+            assert 0.0 <= sample.cpu_util <= 1.0
+            assert 0.0 <= sample.egress_util <= 1.0
+            assert 0.0 <= sample.ingress_util <= 1.0
+
+    def test_node_table_one_row_per_node(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.5)
+        sampler.start()
+        env.run(until=1.0)
+        rows = sampler.node_table()
+        assert len(rows) == NODES
+        assert len(rows[0]) == len(ResourceSampler.NODE_TABLE_HEADERS)
+        assert {row[0] for row in rows} == {
+            "worker-0", "worker-1", "worker-2", "storage"
+        }
+
+    def test_of_node_filters(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.5)
+        sampler.start()
+        env.run(until=1.0)
+        only = sampler.of_node("worker-1")
+        assert only and all(s.node == "worker-1" for s in only)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.25)
+        sampler.start()
+        env.run(until=0.5)
+        path = tmp_path / "samples.csv"
+        count = write_samples_csv(sampler.samples, path)
+        assert count == len(sampler.samples)
+        loaded = read_samples_csv(path)
+        assert loaded == sampler.samples
+
+    def test_empty_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_samples_csv([], path) == 0
+        assert read_samples_csv(path) == []

@@ -1,0 +1,221 @@
+"""Unit tests for the span tracer, ring semantics, and decompose()."""
+
+import pytest
+
+from repro.obs import (
+    BREAKDOWN_COMPONENTS,
+    NULL_SPANS,
+    Span,
+    SpanKind,
+    SpanTracer,
+    category_of,
+    decompose,
+    format_span_tree,
+    span_tree,
+)
+from repro.sim import Environment
+
+
+def make_tracer(limit=1_000_000):
+    return SpanTracer(Environment(), limit=limit)
+
+
+class TestSpanLifecycle:
+    def test_start_end_records_interval(self):
+        tracer = make_tracer()
+        span = tracer.start(SpanKind.FUNCTION, function="f")
+        assert span.open
+        tracer.env.run(until=0.5)
+        tracer.end(span)
+        assert span.end == 0.5
+        assert tracer.all_spans() == [span]
+
+    def test_end_is_idempotent(self):
+        tracer = make_tracer()
+        span = tracer.start(SpanKind.FUNCTION)
+        tracer.end(span, status="ok")
+        tracer.end(span, status="failed")
+        assert span.status == "ok"
+        assert len(tracer.all_spans()) == 1
+
+    def test_record_retrospective(self):
+        tracer = make_tracer()
+        span = tracer.record(SpanKind.EXECUTE, 1.0, 2.0, function="f")
+        assert span.start == 1.0 and span.end == 2.0
+        assert not span.open
+
+    def test_event_zero_duration(self):
+        tracer = make_tracer()
+        span = tracer.event(SpanKind.SPILL, node="worker-0")
+        assert span.duration == 0.0
+
+    def test_parent_linkage(self):
+        tracer = make_tracer()
+        root = tracer.start_invocation(7, workflow="w")
+        child = tracer.start(SpanKind.FUNCTION, parent=root, invocation_id=7)
+        assert child.parent_id == root.span_id
+        assert tracer.root_of(7) is root
+
+    def test_context_registry(self):
+        tracer = make_tracer()
+        span = tracer.start(SpanKind.FUNCTION, invocation_id=1, function="f")
+        tracer.set_context(1, "f", span)
+        assert tracer.context_of(1, "f") is span
+        tracer.clear_context(1, "f")
+        assert tracer.context_of(1, "f") is None
+
+    def test_finalize_closes_stragglers_as_open(self):
+        tracer = make_tracer()
+        span = tracer.start(SpanKind.FUNCTION)
+        tracer.env.run(until=3.0)
+        closed = tracer.finalize()
+        assert closed == 1
+        assert span.end == 3.0
+        assert span.status == "open"
+
+    def test_len_counts_open_and_closed(self):
+        tracer = make_tracer()
+        tracer.start(SpanKind.FUNCTION)
+        tracer.record(SpanKind.EXECUTE, 0.0, 1.0)
+        assert len(tracer) == 2
+
+
+class TestRingSemantics:
+    def test_drop_oldest_keeps_tail(self):
+        tracer = make_tracer(limit=3)
+        for i in range(6):
+            tracer.record(SpanKind.EXECUTE, float(i), float(i) + 0.5)
+        kept = [s.start for s in tracer.all_spans()]
+        assert kept == [3.0, 4.0, 5.0]
+        assert tracer.dropped == 3
+
+    def test_evicted_root_forgotten(self):
+        tracer = make_tracer(limit=2)
+        root = tracer.start_invocation(1, workflow="w")
+        tracer.end(root)
+        tracer.record(SpanKind.EXECUTE, 0.0, 1.0)
+        tracer.record(SpanKind.EXECUTE, 1.0, 2.0)  # evicts the root
+        assert tracer.root_of(1) is None
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            make_tracer(limit=0)
+
+    def test_clear_resets_everything(self):
+        tracer = make_tracer()
+        tracer.start_invocation(1)
+        tracer.record(SpanKind.EXECUTE, 0.0, 1.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.root_of(1) is None
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_SPANS.enabled is False
+        span = NULL_SPANS.start(SpanKind.FUNCTION, function="f")
+        assert NULL_SPANS.end(span) is span
+        NULL_SPANS.record(SpanKind.EXECUTE, 0.0, 1.0)
+        NULL_SPANS.event(SpanKind.SPILL)
+        NULL_SPANS.start_invocation(1)
+        assert NULL_SPANS.root_of(1) is None
+        assert NULL_SPANS.context_of(1, "f") is None
+        assert NULL_SPANS.all_spans() == []
+        assert len(NULL_SPANS) == 0
+        assert NULL_SPANS.finalize() == 0
+
+
+def _span(kind, start, end, span_id=0, **kwargs):
+    return Span(
+        span_id=span_id, parent_id=None, kind=kind, start=start, end=end,
+        **kwargs,
+    )
+
+
+class TestDecompose:
+    def test_components_sum_to_window(self):
+        spans = [
+            _span(SpanKind.QUEUE_WAIT, 0.0, 1.0),
+            _span(SpanKind.COLD_START, 0.5, 1.5),
+            _span(SpanKind.EXECUTE, 1.0, 2.0),
+            _span(SpanKind.PUT, 2.5, 3.0),
+        ]
+        parts = decompose(spans, (0.0, 4.0))
+        assert sum(parts.values()) == pytest.approx(4.0, abs=1e-12)
+        assert set(parts) == set(BREAKDOWN_COMPONENTS)
+
+    def test_priority_execute_wins_overlap(self):
+        spans = [
+            _span(SpanKind.QUEUE_WAIT, 0.0, 2.0),
+            _span(SpanKind.EXECUTE, 0.0, 2.0),
+        ]
+        parts = decompose(spans, (0.0, 2.0))
+        assert parts["execute"] == pytest.approx(2.0)
+        assert parts["queue_wait"] == 0.0
+
+    def test_uncovered_time_is_engine(self):
+        parts = decompose([_span(SpanKind.EXECUTE, 1.0, 2.0)], (0.0, 3.0))
+        assert parts["engine"] == pytest.approx(2.0)
+        assert parts["execute"] == pytest.approx(1.0)
+
+    def test_empty_spans_all_engine(self):
+        parts = decompose([], (0.0, 5.0))
+        assert parts["engine"] == 5.0
+
+    def test_spans_clamped_to_window(self):
+        parts = decompose([_span(SpanKind.EXECUTE, -1.0, 10.0)], (0.0, 2.0))
+        assert parts["execute"] == pytest.approx(2.0)
+        assert sum(parts.values()) == pytest.approx(2.0)
+
+    def test_open_span_extends_to_window_end(self):
+        parts = decompose([_span(SpanKind.EXECUTE, 1.0, None)], (0.0, 3.0))
+        assert parts["execute"] == pytest.approx(2.0)
+
+    def test_excluded_kinds_ignored(self):
+        spans = [
+            _span(SpanKind.NET, 0.0, 2.0),
+            _span(SpanKind.CONTAINER, 0.0, 2.0),
+            _span(SpanKind.FUNCTION, 0.0, 2.0),
+            _span(SpanKind.INVOCATION, 0.0, 2.0),
+        ]
+        parts = decompose(spans, (0.0, 2.0))
+        assert parts["engine"] == pytest.approx(2.0)
+
+    def test_degenerate_window(self):
+        parts = decompose([_span(SpanKind.EXECUTE, 0.0, 1.0)], (1.0, 1.0))
+        assert all(v == 0.0 for v in parts.values())
+
+    def test_category_of(self):
+        assert category_of(SpanKind.PUT) == "transfer"
+        assert category_of(SpanKind.GET) == "transfer"
+        assert category_of(SpanKind.STATE_SYNC) == "sync"
+        assert category_of(SpanKind.NET) is None
+
+
+class TestSpanTree:
+    def test_children_under_parents(self):
+        root = _span(SpanKind.INVOCATION, 0.0, 3.0, span_id=1)
+        child = Span(
+            span_id=2, parent_id=1, kind=SpanKind.FUNCTION, start=0.5, end=2.0
+        )
+        grand = Span(
+            span_id=3, parent_id=2, kind=SpanKind.EXECUTE, start=1.0, end=1.5
+        )
+        tree = span_tree([grand, root, child])
+        assert [(d, s.span_id) for d, s in tree] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_orphans_surface_at_root(self):
+        orphan = Span(
+            span_id=5, parent_id=99, kind=SpanKind.EXECUTE, start=0.0, end=1.0
+        )
+        tree = span_tree([orphan])
+        assert tree == [(0, orphan)]
+
+    def test_format_renders_status_and_node(self):
+        span = _span(
+            SpanKind.EXECUTE, 0.0, 1.0, function="f", node="worker-0",
+            status="crashed",
+        )
+        text = format_span_tree([span])
+        assert "execute f @worker-0 [crashed]" in text
