@@ -1,0 +1,380 @@
+"""FROZEN pre-optimization network model — the benchmark baseline.
+
+Verbatim copy of ``src/repro/sim/network.py`` as it stood before the
+incremental max-min allocator and flow aggregation landed (only the
+relative imports were rewritten so the file loads standalone).  Every
+flow arrival/completion re-runs full water-filling over *all* active
+flows and links, which is the O(F^2 * L) behavior
+``test_bench_network.py`` measures the optimized model against.  Do not
+"fix" or optimize this file: it exists so the speedup has a stable
+denominator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.spans import NULL_SPANS, SpanKind
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["NIC", "Network", "Flow", "TransferRecord", "MB", "KB"]
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+_EPS = 1e-9
+
+
+class _Link:
+    """One direction of a NIC: a capacity shared by the flows crossing it."""
+
+    __slots__ = ("name", "bandwidth", "flows", "bytes_carried")
+
+    def __init__(self, name: str, bandwidth: float):
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        # Insertion-ordered (dict-as-set): the water-filling arithmetic
+        # must visit flows in a deterministic order, not id()-hash order.
+        self.flows: dict["Flow", None] = {}
+        self.bytes_carried = 0.0
+
+
+class NIC:
+    """A node's network interface: an egress link and an ingress link."""
+
+    def __init__(self, name: str, bandwidth: float):
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be > 0, got {bandwidth}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.egress = _Link(f"{name}.egress", bandwidth)
+        self.ingress = _Link(f"{name}.ingress", bandwidth)
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Reconfigure NIC speed (the paper's ``wondershaper`` sweep)."""
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be > 0, got {bandwidth}")
+        self.bandwidth = float(bandwidth)
+        self.egress.bandwidth = float(bandwidth)
+        self.ingress.bandwidth = float(bandwidth)
+
+    @property
+    def bytes_sent(self) -> float:
+        return self.egress.bytes_carried
+
+    @property
+    def bytes_received(self) -> float:
+        return self.ingress.bytes_carried
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NIC {self.name} {self.bandwidth / MB:.1f} MB/s>"
+
+
+class Flow:
+    """A bulk transfer in progress."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "links",
+        "done",
+        "started_at",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: NIC,
+        dst: NIC,
+        size: float,
+        done: Event,
+        started_at: float,
+        tag: str,
+    ):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.links = (src.egress, dst.ingress)
+        self.done = done
+        self.started_at = started_at
+        self.tag = tag
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Ledger entry for one completed transfer (bulk or message)."""
+
+    src: str
+    dst: str
+    size: float
+    started_at: float
+    finished_at: float
+    kind: str  # "flow", "message", or "local"
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class NetworkConfig:
+    """Tuning knobs for the network model."""
+
+    latency: float = 0.0005  # one-way propagation latency, seconds
+    message_threshold: float = 64 * KB  # below this, skip the fluid model
+    local_copy_rate: float = 4096 * MB  # intra-node memcpy bandwidth
+    record_transfers: bool = True
+    record_limit: int = 2_000_000
+    extra: dict = field(default_factory=dict)
+
+
+class Network:
+    """The cluster fabric: NIC registry plus the fluid flow scheduler."""
+
+    def __init__(self, env: Environment, config: Optional[NetworkConfig] = None):
+        self.env = env
+        self.config = config or NetworkConfig()
+        self._nics: dict[str, NIC] = {}
+        # dict-as-ordered-set: iteration order (and with it the fair-share
+        # float accumulation order) is start-order of the flows, identical
+        # in every process — a plain set iterates in address order, which
+        # varies run to run and would break serial/parallel equality.
+        self._flows: dict[Flow, None] = {}
+        self._flow_ids = itertools.count(1)
+        self._last_advance = env.now
+        self._timer_version = 0
+        self.records: list[TransferRecord] = []
+        self.total_bytes = 0.0
+        self.message_count = 0
+        self.flow_count = 0
+        self.spans = NULL_SPANS
+
+    # -- topology ------------------------------------------------------
+    def attach(self, name: str, bandwidth: float) -> NIC:
+        """Create and register a NIC for node ``name``."""
+        if name in self._nics:
+            raise SimulationError(f"NIC {name!r} already attached")
+        nic = NIC(name, bandwidth)
+        self._nics[name] = nic
+        return nic
+
+    def nic(self, name: str) -> NIC:
+        return self._nics[name]
+
+    @property
+    def nics(self) -> dict[str, NIC]:
+        return dict(self._nics)
+
+    # -- transfers -------------------------------------------------------
+    def transfer(self, src: NIC, dst: NIC, size: float, tag: str = "") -> Event:
+        """Move ``size`` bytes from ``src`` to ``dst``.
+
+        Returns an event that fires when the last byte arrives.  Local
+        transfers (same NIC) cost a memcpy; small transfers cost latency
+        plus nominal serialization; large transfers enter the fair-share
+        fluid model.
+        """
+        if size < 0:
+            raise SimulationError(f"negative transfer size {size}")
+        done = self.env.event()
+        started = self.env.now
+        if src is dst:
+            duration = size / self.config.local_copy_rate
+            self._complete_later(done, duration, src, dst, size, started, "local", tag)
+            return done
+        if size <= self.config.message_threshold:
+            duration = self.config.latency + size / min(
+                src.bandwidth, dst.bandwidth
+            )
+            self.message_count += 1
+            self._complete_later(
+                done, duration, src, dst, size, started, "message", tag
+            )
+            return done
+        self._advance()
+        flow = Flow(next(self._flow_ids), src, dst, size, done, started, tag)
+        self._flows[flow] = None
+        for link in flow.links:
+            link.flows[flow] = None
+        self.flow_count += 1
+        self._rebalance()
+        return done
+
+    def message(self, src: NIC, dst: NIC, size: float = 1 * KB, tag: str = "") -> Event:
+        """A latency-dominated control message, never contention-modeled."""
+        if size < 0:
+            raise SimulationError(f"negative message size {size}")
+        done = self.env.event()
+        started = self.env.now
+        if src is dst:
+            duration = self.config.extra.get("loopback_latency", 0.00005)
+        else:
+            duration = self.config.latency + size / min(src.bandwidth, dst.bandwidth)
+        self.message_count += 1
+        self._complete_later(done, duration, src, dst, size, started, "message", tag)
+        return done
+
+    # -- internals -------------------------------------------------------
+    def _complete_later(
+        self,
+        done: Event,
+        duration: float,
+        src: NIC,
+        dst: NIC,
+        size: float,
+        started: float,
+        kind: str,
+        tag: str,
+    ) -> None:
+        def _finish(_: Event) -> None:
+            self._record(src, dst, size, started, kind, tag)
+            done.succeed()
+
+        timer = self.env.timeout(duration)
+        timer.callbacks.append(_finish)
+
+    def _record(
+        self, src: NIC, dst: NIC, size: float, started: float, kind: str, tag: str
+    ) -> None:
+        self.total_bytes += size
+        src.egress.bytes_carried += size
+        if dst is not src:
+            dst.ingress.bytes_carried += size
+        if self.spans.enabled:
+            # Contention-induced slowdown: actual wire time over the
+            # uncontended time the same bytes would have taken.
+            actual = self.env.now - started
+            if src is dst:
+                ideal = size / self.config.local_copy_rate
+            else:
+                ideal = self.config.latency + size / min(
+                    src.bandwidth, dst.bandwidth
+                )
+            self.spans.record(
+                SpanKind.NET,
+                started,
+                self.env.now,
+                node=src.name,
+                transfer=kind,
+                dst=dst.name,
+                size=size,
+                tag=tag,
+                slowdown=round(actual / ideal, 4) if ideal > 0 else 1.0,
+            )
+        if self.config.record_transfers and len(self.records) < self.config.record_limit:
+            self.records.append(
+                TransferRecord(
+                    src=src.name,
+                    dst=dst.name,
+                    size=size,
+                    started_at=started,
+                    finished_at=self.env.now,
+                    kind=kind,
+                    tag=tag,
+                )
+            )
+
+    def _advance(self) -> None:
+        """Progress all active flows up to the current time."""
+        dt = self.env.now - self._last_advance
+        self._last_advance = self.env.now
+        if dt <= 0:
+            return
+        for flow in self._flows:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+
+    def _rebalance(self) -> None:
+        """Max-min fair water-filling over all active flows, then re-arm."""
+        self._allocate_rates()
+        self._arm_timer()
+
+    def _allocate_rates(self) -> None:
+        unfrozen = dict.fromkeys(self._flows)
+        link_spare: dict[_Link, float] = {}
+        link_count: dict[_Link, int] = {}
+        for flow in self._flows:
+            flow.rate = 0.0
+            for link in flow.links:
+                link_spare.setdefault(link, link.bandwidth)
+                link_count[link] = link_count.get(link, 0) + 1
+        while unfrozen:
+            # Most-contended link determines the next fair-share level.
+            bottleneck = None
+            share = float("inf")
+            for link, count in link_count.items():
+                if count <= 0:
+                    continue
+                level = link_spare[link] / count
+                if level < share - _EPS:
+                    share = level
+                    bottleneck = link
+            if bottleneck is None:
+                break
+            frozen_now = [f for f in unfrozen if bottleneck in f.links]
+            if not frozen_now:  # pragma: no cover - defensive
+                break
+            for flow in frozen_now:
+                flow.rate = share
+                unfrozen.pop(flow, None)
+                for link in flow.links:
+                    link_spare[link] -= share
+                    link_count[link] -= 1
+            link_count[bottleneck] = 0
+
+    def _arm_timer(self) -> None:
+        """Schedule a wake-up at the earliest flow completion."""
+        self._timer_version += 1
+        version = self._timer_version
+        soonest = float("inf")
+        for flow in self._flows:
+            if flow.rate > _EPS:
+                soonest = min(soonest, flow.remaining / flow.rate)
+        if soonest == float("inf"):
+            return
+        timer = self.env.timeout(max(0.0, soonest))
+        timer.callbacks.append(lambda _: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # superseded by a later rebalance
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.size)]
+        for flow in finished:
+            self._flows.pop(flow, None)
+            for link in flow.links:
+                link.flows.pop(flow, None)
+            self._record(
+                flow.src,
+                flow.dst,
+                flow.size,
+                flow.started_at,
+                "flow",
+                flow.tag,
+            )
+            # Tail latency of the last byte crossing the wire.
+            done = flow.done
+            tail = self.env.timeout(self.config.latency)
+            tail.callbacks.append(lambda _, d=done: d.succeed())
+        self._rebalance()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def bytes_between(self, src: str, dst: str) -> float:
+        """Total recorded bytes moved from node ``src`` to node ``dst``."""
+        return sum(
+            r.size for r in self.records if r.src == src and r.dst == dst
+        )

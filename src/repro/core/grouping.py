@@ -72,12 +72,20 @@ class GroupingResult:
     storage_type: dict[str, str]  # function -> 'DB' | 'MEM'
     mem_consume: float  # quota bytes charged by localized edges
     iterations: int
+    # function -> index into ``groups``; filled by group_functions (or
+    # lazily on first lookup for results built by hand in tests).
+    _index: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
     def group_of(self, function: str) -> int:
-        for index, group in enumerate(self.groups):
-            if function in group:
-                return index
-        raise KeyError(function)
+        index = self._index
+        if not index:
+            for position, group in enumerate(self.groups):
+                for member in group:
+                    index[member] = position
+        try:
+            return index[function]
+        except KeyError:
+            raise KeyError(function) from None
 
     @property
     def localized_functions(self) -> list[str]:
@@ -106,6 +114,12 @@ def group_functions(
     # merge).  The caller's DAG weights are left untouched.
     dag = dag.copy()
     names = dag.node_names
+    # Incident-edge index over the working copy: a merge only needs to
+    # reweight edges touching the merged members, not rescan every edge.
+    edges_of: dict[str, list] = {name: [] for name in names}
+    for edge in dag.edges:
+        edges_of[edge.src].append(edge)
+        edges_of[edge.dst].append(edge)
     # Line 1: every function starts as its own group on a random worker.
     groups: dict[int, set[str]] = {i: {name} for i, name in enumerate(names)}
     group_of: dict[str, int] = {name: i for i, name in enumerate(names)}
@@ -201,13 +215,16 @@ def group_functions(
             del worker_of[start_group], worker_of[end_group]
             # Intra-group edges now move at memory speed; reflect that
             # in the working weights so the next critical path surfaces
-            # the remaining remote edges.
-            for intra in dag.edges:
-                if (
-                    group_of[intra.src] == new_id
-                    and group_of[intra.dst] == new_id
-                ):
-                    intra.weight = intra.data_size / _LOCAL_COPY_RATE
+            # the remaining remote edges.  Any edge newly inside the
+            # merged group touches a member, so only incident edges need
+            # checking (re-weighting one twice is idempotent).
+            for name in members:
+                for intra in edges_of[name]:
+                    if (
+                        group_of[intra.src] == new_id
+                        and group_of[intra.dst] == new_id
+                    ):
+                        intra.weight = intra.data_size / _LOCAL_COPY_RATE
             merged = True
             break
         if not merged:
@@ -245,6 +262,11 @@ def group_functions(
         storage_type=storage_type,
         mem_consume=mem_consume,
         iterations=iterations,
+        _index={
+            member: position
+            for position, group in enumerate(final_groups)
+            for member in group
+        },
     )
 
 

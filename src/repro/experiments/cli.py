@@ -24,6 +24,7 @@ from . import (
     fig14_colocation,
     fig15_grouping,
     fig16_scheduler_scalability,
+    fig_scale,
     sec57_component_overhead,
     sec6_memory_vs_network,
     ablations,
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, tuple[Callable, dict]] = {
     "fig14": (fig14_colocation.run, {"invocations": 3}),
     "fig15": (fig15_grouping.run, {}),
     "fig16": (fig16_scheduler_scalability.run, {"sizes": (10, 25, 50)}),
+    "fig_scale": (fig_scale.run, {"nodes": (8, 16), "flows": (10, 50)}),
     "sec57": (
         sec57_component_overhead.run,
         {"worker_counts": (1, 5, 10), "invocations": 3},

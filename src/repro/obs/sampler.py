@@ -55,7 +55,7 @@ class Sample:
 def _link_util(link) -> float:
     if link.bandwidth <= 0:
         return 0.0
-    return min(1.0, sum(f.rate for f in link.flows) / link.bandwidth)
+    return min(1.0, link.allocated_rate / link.bandwidth)
 
 
 class ResourceSampler:

@@ -177,7 +177,8 @@ class Cluster:
 
     @property
     def total_data_moved(self) -> float:
-        """Bytes that crossed any NIC (excludes node-local copies)."""
-        return sum(
-            r.size for r in self.network.records if r.kind != "local"
-        )
+        """Bytes that crossed any NIC (excludes node-local copies).
+
+        Read from the network's running counter rather than the capped
+        ``records`` ledger, so long runs stay exact."""
+        return self.network.nonlocal_bytes

@@ -21,7 +21,7 @@ from enum import Enum
 from typing import Optional
 
 from ..obs.spans import NULL_SPANS, SpanKind
-from .kernel import Environment, Event, SimulationError
+from .kernel import Environment, Event, SimulationError, Timeout
 from .resources import CPUAllocator, MemoryAccount
 
 __all__ = ["ContainerSpec", "Container", "ContainerPool", "ContainerState"]
@@ -95,7 +95,8 @@ class Container:
         self.invocations = 0
         self.last_used = pool.env.now
         self._memory_handle = memory_handle
-        self._expiry_version = 0
+        # Pending keep-alive timer while idle; cancelled on reuse/destroy.
+        self._expiry_timer: Optional[Timeout] = None
 
     @property
     def node_name(self) -> str:
@@ -226,7 +227,7 @@ class ContainerPool:
                 self._destroy(container)
                 continue
             container.state = ContainerState.BUSY
-            container._expiry_version += 1
+            self._cancel_expiry(container)
             container.invocations += 1
             self.warm_reuses += 1
             if self.spans.enabled:
@@ -372,6 +373,7 @@ class ContainerPool:
             return
         was_busy = container.state == ContainerState.BUSY
         container.state = ContainerState.DEAD
+        self._cancel_expiry(container)
         self.memory.free(container._memory_handle)
         if self.spans.enabled:
             self.spans.event(
@@ -402,19 +404,23 @@ class ContainerPool:
             self._waiting[request.function].popleft()
             self._cold_start(request.function, request.version, request.event)
 
+    def _cancel_expiry(self, container: Container) -> None:
+        timer = container._expiry_timer
+        if timer is not None:
+            timer.cancel()
+            container._expiry_timer = None
+
     def _schedule_expiry(self, container: Container) -> None:
-        container._expiry_version += 1
-        version = container._expiry_version
+        self._cancel_expiry(container)
         timer = self.env.timeout(self.spec.keepalive)
 
         def _expire(_: Event) -> None:
-            if (
-                container._expiry_version == version
-                and container.state == ContainerState.IDLE
-            ):
+            container._expiry_timer = None
+            if container.state == ContainerState.IDLE:
                 idle = self._idle.get(container.function)
                 if idle and container in idle:
                     idle.remove(container)
                 self._destroy(container)
 
         timer.callbacks.append(_expire)
+        container._expiry_timer = timer

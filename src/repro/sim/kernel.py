@@ -152,7 +152,7 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         # Born triggered: initialize every slot directly rather than
@@ -164,8 +164,41 @@ class Timeout(Event):
         self._state = TRIGGERED
         self._value = value
         self._ok = True
+        self._cancelled = False
         self.delay = delay
         env._schedule(self, delay=delay)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Discard the timeout: its callbacks will never run.
+
+        The heap entry stays queued until its scheduled time but is
+        dropped unprocessed when popped — no callback invocation, no
+        version-counter churn.  This is for timers that get superseded
+        before they fire (the network's completion wake-up, a
+        container's keep-alive expiry).  The caller is responsible for
+        not cancelling a timeout some process still waits on (that
+        process would never resume).  Cancelling twice is a no-op;
+        cancelling an already-processed timeout is an error.
+        """
+        if self._state == PROCESSED:
+            raise SimulationError("cannot cancel a processed timeout")
+        self._cancelled = True
+
+    def _process_callbacks(self) -> None:
+        if self._cancelled:
+            # Dropped without running callbacks.  The state still moves
+            # to PROCESSED (the lifecycle other kernel paths and the
+            # free-list expect) and the flag resets so a pooled reuse
+            # starts clean.
+            self._cancelled = False
+            self._state = PROCESSED
+            self.callbacks.clear()
+            return
+        Event._process_callbacks(self)
 
 
 class _Resume:

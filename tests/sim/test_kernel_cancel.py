@@ -1,0 +1,79 @@
+"""Timeout cancellation semantics (lazy drop at heap pop)."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError, Timeout
+
+
+def test_cancelled_timeout_callbacks_never_run():
+    env = Environment()
+    fired = []
+    timer = env.timeout(1.0)
+    timer.callbacks.append(lambda ev: fired.append(ev))
+    timer.cancel()
+    env.run()
+    assert fired == []
+    assert env.now == 1.0  # the heap entry still advances the clock
+
+
+def test_cancel_is_idempotent():
+    env = Environment()
+    timer = env.timeout(0.5)
+    timer.cancel()
+    timer.cancel()
+    assert timer.cancelled
+    env.run()
+
+
+def test_cancel_after_processed_raises():
+    env = Environment()
+    timer = env.timeout(0.5)
+    env.run()
+    with pytest.raises(SimulationError, match="processed"):
+        timer.cancel()
+
+
+def test_cancelled_flag_resets_when_dropped():
+    """After the drop, the event reads as processed-and-uncancelled so a
+    pooled reuse starts clean."""
+    env = Environment()
+    timer = env.timeout(0.25)
+    timer.cancel()
+    assert timer.cancelled
+    env.run()
+    assert not timer.cancelled
+    assert timer.processed
+
+
+def test_uncancelled_timeouts_unaffected():
+    env = Environment()
+    fired = []
+    keep = env.timeout(1.0, value="keep")
+    keep.callbacks.append(lambda ev: fired.append(ev.value))
+    drop = env.timeout(1.0, value="drop")
+    drop.callbacks.append(lambda ev: fired.append(ev.value))
+    drop.cancel()
+    env.run()
+    assert fired == ["keep"]
+
+
+def test_process_waiting_on_cancelled_timeout_never_resumes():
+    env = Environment()
+    log = []
+
+    def waiter(env, timer):
+        yield timer
+        log.append("resumed")
+
+    timer = Timeout(env, 1.0)
+    env.process(waiter(env, timer))
+    env.run(until=0.0)  # bootstrap the process onto the timeout
+    timer.cancel()
+    env.run(until=5.0)
+    assert log == []
+
+
+def test_negative_delay_still_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Timeout(env, -1.0)

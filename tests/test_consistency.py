@@ -16,7 +16,14 @@ from repro.core import (
     HyperFlowServerlessSystem,
     hash_partition,
 )
-from repro.sim import Cluster, ClusterConfig, ContainerSpec, Environment, MB
+from repro.sim import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    MB,
+    NetworkConfig,
+)
 from repro.workloads import build
 
 
@@ -111,6 +118,34 @@ class TestDeterminism:
 
     def test_whole_runs_are_bit_identical(self):
         assert self._run_once() == self._run_once()
+
+    def _run_system(self, incremental):
+        env = Environment()
+        cluster = Cluster(
+            env,
+            ClusterConfig(
+                workers=3,
+                storage_bandwidth=50 * MB,
+                container=ContainerSpec(cold_start_time=0.1),
+                network=NetworkConfig(incremental=incremental),
+            ),
+        )
+        system = FaaSFlowSystem(cluster, EngineConfig())
+        scheduler = GraphScheduler(cluster, seed=3)
+        dag = build("file-processing")
+        placement, quotas, _ = scheduler.schedule(dag)
+        system.deploy(dag, placement, quotas=quotas)
+        records = run_closed_loop(system, "file-processing", 4)
+        return (
+            [(r.started_at, r.finished_at, r.latency) for r in records],
+            cluster.network.total_bytes,
+            cluster.total_data_moved,
+        )
+
+    def test_incremental_network_matches_full_recompute(self):
+        """Component-local rebalancing is an optimization, not a model
+        change: a whole system run must be bit-identical either way."""
+        assert self._run_system(True) == self._run_system(False)
 
     def test_scheduler_seed_changes_bootstrap_only_randomness(self):
         cluster_a = fresh_cluster()
