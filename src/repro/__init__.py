@@ -34,8 +34,17 @@ from .core import (
     EngineConfig,
     FaaSFlowSystem,
     FaaStorePolicy,
+    CancelCause,
+    CancelKind,
+    FaultDriver,
     FaultInjector,
+    FaultPlan,
     FunctionFailure,
+    NetworkDegradation,
+    NodeCrash,
+    ProcessRegistry,
+    RetryPolicy,
+    TaskCancelled,
     GraphScheduler,
     GroupingConfig,
     GroupingResult,
@@ -102,8 +111,17 @@ __all__ = [
     "estimate_edge_weights",
     "FaaSFlowSystem",
     "FaaStorePolicy",
+    "CancelCause",
+    "CancelKind",
+    "FaultDriver",
     "FaultInjector",
+    "FaultPlan",
     "FunctionFailure",
+    "NetworkDegradation",
+    "NodeCrash",
+    "ProcessRegistry",
+    "RetryPolicy",
+    "TaskCancelled",
     "FunctionNode",
     "GB",
     "GraphScheduler",

@@ -2,7 +2,19 @@
 
 from .config import EngineConfig
 from .faastore import DataPolicy, FaaStorePolicy, RemoteStorePolicy, object_key
-from .faults import FaultInjector, FunctionFailure
+from .faults import (
+    CancelCause,
+    CancelKind,
+    FaultDriver,
+    FaultInjector,
+    FaultPlan,
+    FunctionFailure,
+    NetworkDegradation,
+    NodeCrash,
+    ProcessRegistry,
+    RetryPolicy,
+    TaskCancelled,
+)
 from .grouping import (
     GroupingConfig,
     GroupingError,
@@ -45,8 +57,17 @@ __all__ = [
     "ExecutionResult",
     "FaaSFlowSystem",
     "FaaStorePolicy",
+    "CancelCause",
+    "CancelKind",
+    "FaultDriver",
     "FaultInjector",
+    "FaultPlan",
     "FunctionFailure",
+    "NetworkDegradation",
+    "NodeCrash",
+    "ProcessRegistry",
+    "RetryPolicy",
+    "TaskCancelled",
     "FunctionInfo",
     "FunctionRuntime",
     "FunctionState",

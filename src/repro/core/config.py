@@ -53,6 +53,23 @@ class EngineConfig:
     # container) before the invocation is declared failed.
     max_retries: int = 2
 
+    # Exponential backoff between retries of one task:
+    #   delay(n) = min(max, base * factor ** (n - 1)) * (1 ± jitter)
+    # base 0 (the default) retries immediately, preserving the seeded
+    # event sequences of runs that never configured backoff.  The jitter
+    # fraction is hash-derived per (seed, task, attempt), so schedules
+    # are independent of sibling interleaving and replay exactly.
+    retry_backoff_base: float = 0.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 30.0
+    retry_jitter: float = 0.0
+    retry_seed: int = 17
+
+    # Per-attempt execution timeout (straggler kill): an attempt running
+    # longer than this is interrupted and counts as a retryable failure.
+    # 0 disables the watchdog (the default — no extra kernel events).
+    function_timeout: float = 0.0
+
     # When enabled, switch steps execute only their selected arm at
     # runtime (the DAG parser still provisions every arm, §4.1.1); the
     # selection is a deterministic per-invocation hash so distributed
@@ -82,5 +99,15 @@ class EngineConfig:
             raise ValueError("execution_timeout must be > 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_base < 0:
+            raise ValueError("retry_backoff_base must be >= 0")
+        if self.retry_backoff_factor < 1:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_max < 0:
+            raise ValueError("retry_backoff_max must be >= 0")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.function_timeout < 0:
+            raise ValueError("function_timeout must be >= 0")
         if self.service_time_jitter < 0:
             raise ValueError("service_time_jitter must be >= 0")

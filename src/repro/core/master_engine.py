@@ -26,7 +26,14 @@ from ..obs.spans import SpanKind
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, RemoteStorePolicy
-from .faults import FaultInjector, FunctionFailure
+from .faults import (
+    CancelCause,
+    CancelKind,
+    FaultInjector,
+    FunctionFailure,
+    ProcessRegistry,
+    TaskCancelled,
+)
 from .runtime import FunctionRuntime
 from .switching import is_skipped
 from .state import (
@@ -84,8 +91,10 @@ class HyperFlowServerlessSystem:
         if self.spans.enabled:
             self.metrics.spans = self.spans
         self.policy = policy or RemoteStorePolicy(cluster, self.metrics)
+        self.registry = ProcessRegistry()
         self.runtime = FunctionRuntime(
-            cluster, self.config, self.policy, faults=faults
+            cluster, self.config, self.policy, faults=faults,
+            registry=self.registry,
         )
         # The paper deploys the central engine next to the invocation
         # generator and storage; we host it on the storage node.
@@ -95,6 +104,7 @@ class HyperFlowServerlessSystem:
         self.messages_sent = 0
         self.events_handled = 0
         self.busy_time = 0.0
+        self.node_crashes = 0
 
     # -- registration -----------------------------------------------------
     def register(self, dag: WorkflowDAG, placement: Placement) -> None:
@@ -134,13 +144,17 @@ class HyperFlowServerlessSystem:
         remaining = {"count": len(dag.node_names)}
 
         def spawn(function: str) -> None:
-            self.env.process(
+            # Task coordinators live on the master, not on any worker:
+            # they survive worker crashes (the runtime retries under
+            # them) and die only with the invocation.
+            proc = self.env.process(
                 self._run_task(
                     dag, placement, invocation_id, function, state,
                     remaining, all_done, failed, record,
                 ),
                 name=f"master:{workflow}:{function}",
             )
+            self.registry.register(proc, invocation_id)
 
         self.trace(Kind.INVOCATION_START, workflow, invocation_id)
         if self.spans.enabled:
@@ -152,15 +166,32 @@ class HyperFlowServerlessSystem:
             spawn(source)
 
         timeout = self.env.timeout(self.config.execution_timeout)
-        finished = yield self.env.any_of([all_done, failed, timeout])
-        if all_done in finished:
-            record.finished_at = self.env.now
-        elif failed in finished:
+        yield self.env.any_of([all_done, failed, timeout])
+        # Failure first: if the last task's completion and a failure
+        # land in the same timestep, the invocation failed.
+        if failed.triggered:
             record.status = InvocationStatus.FAILED
+            record.finished_at = self.env.now
+        elif all_done.triggered:
             record.finished_at = self.env.now
         else:
             record.status = InvocationStatus.TIMEOUT
             record.finished_at = record.started_at + self.config.execution_timeout
+        if not timeout.processed:
+            # Don't leave a live 60-second timer per finished invocation
+            # in the kernel heap.
+            timeout.cancel()
+        if record.status != InvocationStatus.OK:
+            cancelled = self.registry.cancel_invocation(
+                invocation_id,
+                CancelCause(CancelKind.INVOCATION_ABORT, detail=record.status),
+            )
+            if cancelled:
+                self.trace(
+                    Kind.CANCELLED, workflow, invocation_id,
+                    detail=f"{cancelled} process(es)",
+                )
+        self.registry.release_invocation(invocation_id)
         self.policy.cleanup_invocation(dag, invocation_id)
         self.metrics.record_invocation(record)
         self.trace(
@@ -183,14 +214,13 @@ class HyperFlowServerlessSystem:
     # -- internals -------------------------------------------------------
     def _engine_step(self) -> Generator:
         """One serialized event-handling step of the central engine."""
-        request = self._engine_lock.request()
-        yield request
-        try:
+        # Context-managed so an interrupt while *waiting* for the lock
+        # cancels the queued request instead of leaking it.
+        with self._engine_lock.request() as request:
+            yield request
             yield self.env.timeout(self.config.master_process_time)
             self.events_handled += 1
             self.busy_time += self.config.master_process_time
-        finally:
-            self._engine_lock.release(request)
 
     def _run_task(
         self,
@@ -239,19 +269,32 @@ class HyperFlowServerlessSystem:
                     role="assign",
                     dst=worker.name,
                 )
-            # Stage 2: the worker executes the function task.
+            # Stage 2: the worker executes the function task.  The
+            # execute process is registered invocation-bound (NOT
+            # node-bound): MasterSP recovery happens *inside* the
+            # runtime's retry ladder, so a node crash must interrupt
+            # only the instances, which then retry against the worker's
+            # (offline, queueing) container pool.
+            execute_proc = self.env.process(
+                self.runtime.execute(
+                    dag, placement, invocation_id, function,
+                    version=placement.version,
+                ),
+                name=f"execute:{worker.name}:{function}",
+            )
+            self.registry.register(execute_proc, invocation_id)
             try:
-                result = yield self.env.process(
-                    self.runtime.execute(
-                        dag, placement, invocation_id, function,
-                        version=placement.version,
-                    )
-                )
+                result = yield execute_proc
             except FunctionFailure as error:
                 if not failed.triggered:
                     failed.succeed(error)
                 return
+            except TaskCancelled:
+                return
+            if result is None:
+                return  # cancelled mid-flight; the canceller owns cleanup
             record.cold_starts += result.cold_starts
+            record.retries += result.retries
             # Stage 3: the execution state returns to the master.
             self.messages_sent += 1
             result_start = self.env.now
@@ -291,10 +334,30 @@ class HyperFlowServerlessSystem:
             successor_state.mark_predecessor_done()
             if successor_state.ready(len(dag.predecessors(successor))):
                 successor_state.triggered = True
-                self.env.process(
+                proc = self.env.process(
                     self._run_task(
                         dag, placement, invocation_id, successor, state,
                         remaining, all_done, failed, record,
                     ),
                     name=f"master:{dag.name}:{successor}",
                 )
+                self.registry.register(proc, invocation_id)
+
+    # -- fault hooks (called by FaultDriver) ----------------------------------
+    def on_node_crash(self, node_name: str) -> None:
+        """MasterSP recovery: runtime-level retry.
+
+        The master survives worker crashes, so the in-flight instances
+        are killed with the *retryable* NODE_CRASH cause; their retry
+        ladders back off and re-acquire containers from the worker's
+        pool, which queues requests until the node recovers.
+        """
+        self.node_crashes += 1
+        self.registry.cancel_node(
+            node_name, CancelCause(CancelKind.NODE_CRASH, detail=node_name)
+        )
+        self.trace(Kind.NODE_CRASH, "", 0, node=node_name)
+
+    def on_node_recovery(self, node_name: str) -> None:
+        """Nothing to replay: the container pool drains its own backlog."""
+        self.trace(Kind.NODE_RECOVERY, "", 0, node=node_name)

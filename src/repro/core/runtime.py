@@ -21,10 +21,20 @@ from typing import Generator, Optional
 
 from ..dag import WorkflowDAG
 from ..obs.spans import SpanKind
-from ..sim import Cluster, Node
+from ..sim import Cluster, ContainerState, Node
+from ..sim.kernel import Interrupt
 from .config import EngineConfig
 from .faastore import DataPolicy
-from .faults import FaultInjector, FunctionFailure
+from .faults import (
+    CancelCause,
+    CancelKind,
+    FaultInjector,
+    FunctionFailure,
+    ProcessRegistry,
+    RetryPolicy,
+    TaskCancelled,
+    cause_of_interrupt,
+)
 from .state import InvocationID, Placement
 
 __all__ = ["FunctionRuntime", "ExecutionResult"]
@@ -55,11 +65,14 @@ class FunctionRuntime:
         config: EngineConfig,
         policy: DataPolicy,
         faults: Optional[FaultInjector] = None,
+        registry: Optional[ProcessRegistry] = None,
     ):
         self.cluster = cluster
         self.config = config
         self.policy = policy
         self.faults = faults
+        self.registry = registry
+        self.retry_policy = RetryPolicy.from_config(config)
         self.env = cluster.env
         self.spans = cluster.spans
         self._jitter_rng = (
@@ -117,15 +130,52 @@ class FunctionRuntime:
             )
             for index in range(instances)
         ]
+        if self.registry is not None:
+            for proc in instance_procs:
+                self.registry.register(proc, invocation_id, node=worker.name)
         try:
             yield self.env.all_of(instance_procs)
         except FunctionFailure:
+            # One instance exhausted its retries: the function is doomed,
+            # so stop the surviving siblings from burning CPU/containers.
+            self._cancel_instances(
+                instance_procs,
+                CancelCause(CancelKind.SIBLING_FAILED, detail=function),
+            )
             if fn_span is not None:
                 spans.end(
                     fn_span,
                     status="failed",
                     cold_starts=result.cold_starts,
                     retries=result.retries,
+                )
+                spans.clear_context(invocation_id, function)
+            raise
+        except TaskCancelled as cancelled:
+            # An instance died to a terminal cancel that reached the
+            # AllOf before this process was interrupted itself.  Mop up
+            # and end quietly — the canceller owns the invocation's fate.
+            self._cancel_instances(instance_procs, cancelled.cause)
+            if fn_span is not None:
+                spans.end(
+                    fn_span,
+                    status="cancelled",
+                    cold_starts=result.cold_starts,
+                    retries=result.retries,
+                    cancel=cancelled.cause.kind,
+                )
+                spans.clear_context(invocation_id, function)
+            return None
+        except Interrupt as interrupt:
+            cause = cause_of_interrupt(interrupt)
+            self._cancel_instances(instance_procs, cause)
+            if fn_span is not None:
+                spans.end(
+                    fn_span,
+                    status="cancelled",
+                    cold_starts=result.cold_starts,
+                    retries=result.retries,
+                    cancel=cause.kind,
                 )
                 spans.clear_context(invocation_id, function)
             raise
@@ -139,6 +189,14 @@ class FunctionRuntime:
             spans.clear_context(invocation_id, function)
         return result
 
+    def _cancel_instances(self, instance_procs, cause: CancelCause) -> int:
+        cancelled = 0
+        for proc in instance_procs:
+            if proc.is_alive:
+                proc.interrupt(cause)
+                cancelled += 1
+        return cancelled
+
     def _run_instance_with_retries(
         self,
         dag: WorkflowDAG,
@@ -151,18 +209,128 @@ class FunctionRuntime:
         instances: int,
         result: ExecutionResult,
     ) -> Generator:
-        attempts = self.config.max_retries + 1
-        for attempt in range(attempts):
+        policy = self.retry_policy
+        attempt = 1
+        while True:
             try:
-                yield from self._run_instance(
-                    dag, placement, invocation_id, function, worker,
-                    version, index, instances, result,
-                )
+                if self.config.function_timeout > 0:
+                    yield from self._timed_attempt(
+                        dag, placement, invocation_id, function, worker,
+                        version, index, instances, result, attempt,
+                    )
+                else:
+                    yield from self._attempt(
+                        dag, placement, invocation_id, function, worker,
+                        version, index, instances, result, attempt,
+                    )
                 return
-            except FunctionFailure:
-                if attempt + 1 >= attempts:
+            except FunctionFailure as failure:
+                cause_kind = "crash"
+                final_error = failure
+            except TaskCancelled as cancelled:
+                if not cancelled.cause.retryable:
+                    # The invocation was aborted or WorkerSP's engine
+                    # recovery owns the re-trigger: stop here.
                     raise
-                result.retries += 1
+                cause_kind = cancelled.cause.kind
+                final_error = FunctionFailure(function, attempts=attempt)
+            if attempt > policy.max_retries:
+                raise final_error
+            result.retries += 1
+            delay = policy.delay(attempt, key=(function, invocation_id, index))
+            if self.spans.enabled:
+                self.spans.event(
+                    SpanKind.RETRY,
+                    workflow=dag.name,
+                    invocation_id=invocation_id,
+                    function=function,
+                    node=worker.name,
+                    parent=self.spans.context_of(invocation_id, function),
+                    instance=index,
+                    attempt=attempt,
+                    cause=cause_kind,
+                    backoff=delay,
+                )
+            if delay > 0:
+                yield self.env.timeout(delay)
+            attempt += 1
+
+    def _attempt(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        worker: Node,
+        version: int,
+        index: int,
+        instances: int,
+        result: ExecutionResult,
+        attempt: int,
+    ) -> Generator:
+        """One attempt, with interrupts surfaced as :class:`TaskCancelled`.
+
+        The conversion matters: an :class:`Interrupt` that escapes a
+        process makes the kernel treat it as a normal exit, so waiters
+        could not tell cancellation from success.  Raising
+        ``TaskCancelled`` instead fails the attempt with its cause.
+        """
+        try:
+            yield from self._run_instance(
+                dag, placement, invocation_id, function, worker,
+                version, index, instances, result, attempt,
+            )
+        except Interrupt as interrupt:
+            raise TaskCancelled(cause_of_interrupt(interrupt)) from None
+
+    def _timed_attempt(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        worker: Node,
+        version: int,
+        index: int,
+        instances: int,
+        result: ExecutionResult,
+        attempt: int,
+    ) -> Generator:
+        """Race one attempt against ``config.function_timeout``.
+
+        A straggler attempt is killed and surfaced as a retryable
+        :class:`TaskCancelled` so the retry ladder treats it exactly
+        like a crash.
+        """
+        proc = self.env.process(
+            self._attempt(
+                dag, placement, invocation_id, function, worker,
+                version, index, instances, result, attempt,
+            ),
+            name=f"{function}#{index}.{attempt}",
+        )
+        if self.registry is not None:
+            self.registry.register(proc, invocation_id, node=worker.name)
+        timer = self.env.timeout(self.config.function_timeout)
+        try:
+            yield self.env.any_of([proc, timer])
+        except Interrupt as interrupt:
+            cause = cause_of_interrupt(interrupt)
+            if proc.is_alive:
+                proc.interrupt(cause)
+            raise TaskCancelled(cause) from None
+        finally:
+            if not timer.processed:
+                timer.cancel()
+        if proc.is_alive:
+            # The timer won: kill the straggler and count it as a retry.
+            cause = CancelCause(
+                CancelKind.STRAGGLER,
+                detail=f"{function}#{index} attempt {attempt} exceeded "
+                f"{self.config.function_timeout:g}s",
+            )
+            proc.interrupt(cause)
+            raise TaskCancelled(cause)
 
     def _run_instance(
         self,
@@ -175,11 +343,17 @@ class FunctionRuntime:
         index: int,
         instances: int,
         result: ExecutionResult,
+        attempt: int = 1,
     ) -> Generator:
         node_meta = dag.node(function)
         spans = self.spans
         acquire_start = self.env.now
-        container = yield worker.containers.acquire(function, version)
+        acquire = worker.containers.acquire(function, version)
+        try:
+            container = yield acquire
+        except Interrupt:
+            worker.containers.abandon(acquire)
+            raise
         cold = container.invocations == 1
         if cold:
             result.cold_starts += 1
@@ -229,7 +403,11 @@ class FunctionRuntime:
                 )
             cpu_wait_start = self.env.now
             cpu_request = worker.cpu.request(1)
-            yield cpu_request
+            try:
+                yield cpu_request
+            except Interrupt:
+                worker.cpu.cancel(cpu_request)
+                raise
             if spans.enabled and self.env.now - cpu_wait_start > 1e-12:
                 spans.record(
                     SpanKind.QUEUE_WAIT,
@@ -244,6 +422,7 @@ class FunctionRuntime:
                     instance=index,
                 )
             exec_start = self.env.now
+            status = "ok"
             try:
                 duration = self._service_time(node_meta.service_time)
                 if self.faults is not None and self.faults.should_crash(
@@ -252,10 +431,12 @@ class FunctionRuntime:
                     # The process dies partway through its work.
                     yield self.env.timeout(duration / 2)
                     crashed = True
-                    raise FunctionFailure(
-                        function, attempts=self.config.max_retries + 1
-                    )
+                    status = "crashed"
+                    raise FunctionFailure(function, attempts=attempt)
                 yield self.env.timeout(duration)
+            except Interrupt:
+                status = "cancelled"
+                raise
             finally:
                 worker.cpu.release(cpu_request)
                 if spans.enabled:
@@ -270,7 +451,8 @@ class FunctionRuntime:
                         parent=spans.context_of(invocation_id, function),
                         instance=index,
                         container=container.container_id,
-                        status="crashed" if crashed else "ok",
+                        attempt=attempt,
+                        status=status,
                     )
             container.note_memory_use(node_meta.memory)
             if self.config.ship_data and node_meta.output_size > 0:
@@ -279,10 +461,13 @@ class FunctionRuntime:
                     chunk=index, size=node_meta.output_size / instances,
                 )
         finally:
-            if crashed:
-                worker.containers.crash(container)
-            else:
-                worker.containers.release(container)
+            # A node crash destroys the container out from under us; the
+            # pool already reclaimed it, so only live containers return.
+            if container.state is not ContainerState.DEAD:
+                if crashed:
+                    worker.containers.crash(container)
+                else:
+                    worker.containers.release(container)
 
     def _fetch_inputs(
         self,
@@ -320,4 +505,14 @@ class FunctionRuntime:
                     )
                 )
         if fetches:
-            yield self.env.all_of(fetches)
+            try:
+                yield self.env.all_of(fetches)
+            except Interrupt:
+                # The storage layer is callback-driven (its operations
+                # complete without the waiting process), so abandoning a
+                # fetch mid-flight is safe; just stop the fetch processes
+                # themselves from proceeding to further operations.
+                for fetch in fetches:
+                    if fetch.is_alive:
+                        fetch.interrupt(CancelCause(CancelKind.INVOCATION_ABORT))
+                raise

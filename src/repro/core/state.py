@@ -209,6 +209,10 @@ class WorkflowStructure:
         """Free the *State* object at the end of an invocation (§4.2.1)."""
         self._invocations.pop(invocation_id, None)
 
+    def invocation_items(self) -> list[tuple[InvocationID, InvocationState]]:
+        """Snapshot of the live (invocation_id, state) pairs."""
+        return list(self._invocations.items())
+
     @property
     def live_invocations(self) -> int:
         return len(self._invocations)

@@ -29,6 +29,10 @@ class Kind:
     STATE_SYNC = "state-sync"
     TASK_ASSIGNED = "task-assigned"
     COLD_START = "cold-start"
+    RETRY = "retry"
+    CANCELLED = "cancelled"
+    NODE_CRASH = "node-crash"
+    NODE_RECOVERY = "node-recovery"
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,14 @@ from ..obs.spans import SpanKind
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, FaaStorePolicy
-from .faults import FaultInjector, FunctionFailure
+from .faults import (
+    CancelCause,
+    CancelKind,
+    FaultInjector,
+    FunctionFailure,
+    ProcessRegistry,
+    TaskCancelled,
+)
 from .master_engine import static_critical_exec
 from .runtime import FunctionRuntime
 from .switching import is_skipped
@@ -72,6 +79,12 @@ class WorkerEngine:
         self.states_synced = 0  # cross-worker state messages received
         self.events_handled = 0  # engine-loop steps executed
         self.busy_time = 0.0  # seconds the engine loop was occupied
+        # Crash state: while down, incoming control messages are queued
+        # (the senders' TCP stacks would retry the connection) and
+        # replayed on recovery.
+        self.down = False
+        self.crash_count = 0
+        self._deferred: list[tuple[str, str, int, InvocationID, str]] = []
 
     # -- deployment ---------------------------------------------------------
     def deploy(self, structure: WorkflowStructure) -> None:
@@ -103,14 +116,14 @@ class WorkerEngine:
 
     # -- engine event loop ----------------------------------------------------
     def _engine_step(self) -> Generator:
-        request = self._lock.request()
-        yield request
-        try:
+        # The context manager releases the lock even when the process
+        # is interrupted while *waiting* for it (an ungranted request
+        # is cancelled out of the queue rather than released).
+        with self._lock.request() as request:
+            yield request
             yield self.env.timeout(self.system.config.worker_process_time)
             self.events_handled += 1
             self.busy_time += self.system.config.worker_process_time
-        finally:
-            self._lock.release(request)
 
     # -- state synchronization (paper Fig. 6) ---------------------------------
     def receive_state_update(
@@ -121,6 +134,11 @@ class WorkerEngine:
         function: str,
     ) -> Generator:
         """A predecessor of a local ``function`` finished somewhere."""
+        if self.down:
+            self._deferred.append(
+                ("update", workflow, version, invocation_id, function)
+            )
+            return
         yield from self._engine_step()
         structure = self.structure(workflow, version)
         info = structure.info(function)
@@ -128,8 +146,10 @@ class WorkerEngine:
         state.mark_predecessor_done()
         if state.ready(info.predecessors_count):
             state.triggered = True
-            self.env.process(
+            self.system.spawn_registered(
                 self.run_function(workflow, version, invocation_id, function),
+                invocation_id,
+                node=self.node.name,
                 name=f"worker:{self.node.name}:{function}",
             )
 
@@ -141,13 +161,20 @@ class WorkerEngine:
         function: str,
     ) -> Generator:
         """Invocation request for an entry function arrived at this node."""
+        if self.down:
+            self._deferred.append(
+                ("trigger", workflow, version, invocation_id, function)
+            )
+            return
         yield from self._engine_step()
         structure = self.structure(workflow, version)
         state = structure.invocation(invocation_id).state_of(function)
         if not state.triggered:
             state.triggered = True
-            self.env.process(
+            self.system.spawn_registered(
                 self.run_function(workflow, version, invocation_id, function),
+                invocation_id,
+                node=self.node.name,
                 name=f"worker:{self.node.name}:{function}",
             )
 
@@ -180,16 +207,22 @@ class WorkerEngine:
                     function=function, node=self.node.name, detail="skipped",
                 )
         else:
+            execute_proc = self.system.spawn_registered(
+                self.system.runtime.execute(
+                    structure.dag,
+                    structure.placement,
+                    invocation_id,
+                    function,
+                    version=version,
+                ),
+                invocation_id,
+                node=self.node.name,
+                name=f"execute:{self.node.name}:{function}",
+            )
             try:
-                result = yield self.env.process(
-                    self.system.runtime.execute(
-                        structure.dag,
-                        structure.placement,
-                        invocation_id,
-                        function,
-                        version=version,
-                    )
-                )
+                result = yield execute_proc
+            except TaskCancelled:
+                return  # whoever cancelled us owns the invocation's fate
             except FunctionFailure:
                 # The task exhausted its retries: report the failure to
                 # the client like a sink would report success.
@@ -218,9 +251,14 @@ class WorkerEngine:
                     structure.workflow, invocation_id, function
                 )
                 return
+            if result is None:
+                # The execute process was cancelled (invocation abort or
+                # node crash) and exited quietly; so do we.
+                return
             context = self.system.context(invocation_id)
             if context is not None:
                 context.record.cold_starts += result.cold_starts
+                context.record.retries += result.retries
             if result.cold_starts:
                 self.system.trace(
                     Kind.COLD_START, workflow, invocation_id,
@@ -232,52 +270,75 @@ class WorkerEngine:
             Kind.FUNCTION_EXECUTED, workflow, invocation_id,
             function=function, node=self.node.name,
         )
-        yield from self._propagate(structure, invocation_id, function)
+        self._propagate(structure, invocation_id, function)
 
     def _propagate(
         self,
         structure: WorkflowStructure,
         invocation_id: InvocationID,
         function: str,
-    ) -> Generator:
+    ) -> None:
+        """Fan out state updates (and sink reports) as detached processes.
+
+        Deliberately yield-free: once a function is marked ``executed``
+        its notifications are committed atomically, so a node crash can
+        never leave a half-propagated function.  The spawned messages
+        are registered *invocation-bound* (not node-bound) — they model
+        packets already handed to the TCP stack, which survive the
+        sender's crash but die with the invocation.
+        """
         info = structure.info(function)
         if not info.successors:
-            # A sink finished: report the execution state to the client.
-            report_start = self.env.now
-            yield self.system.network.message(
-                self.node.nic,
-                self.system.client_node.nic,
-                self.system.config.result_message_size,
-                tag=f"sink:{function}",
+            self.system.spawn_registered(
+                self._report_sink(structure, invocation_id, function),
+                invocation_id,
+                name=f"sink-report:{function}",
             )
-            spans = self.system.spans
-            if spans.enabled:
-                spans.record(
-                    SpanKind.STATE_SYNC,
-                    report_start,
-                    self.env.now,
-                    workflow=structure.workflow,
-                    invocation_id=invocation_id,
-                    function=function,
-                    node=self.node.name,
-                    parent=spans.root_of(invocation_id),
-                    role="sink-report",
-                    dst=self.system.client_node.name,
-                )
-            self.system.sink_completed(structure.workflow, invocation_id)
             return
         for successor in info.successors:
             target = info.successor_locations[successor]
             if target == self.node.name:
-                self.env.process(
+                self.system.spawn_registered(
                     self._notify_local(structure, invocation_id, successor),
+                    invocation_id,
                     name=f"rpc:{function}->{successor}",
                 )
             else:
-                self.env.process(
+                self.system.spawn_registered(
                     self._notify_remote(structure, invocation_id, successor, target),
+                    invocation_id,
                     name=f"sync:{function}->{successor}",
                 )
+
+    def _report_sink(
+        self,
+        structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> Generator:
+        """A sink finished: report the execution state to the client."""
+        report_start = self.env.now
+        yield self.system.network.message(
+            self.node.nic,
+            self.system.client_node.nic,
+            self.system.config.result_message_size,
+            tag=f"sink:{function}",
+        )
+        spans = self.system.spans
+        if spans.enabled:
+            spans.record(
+                SpanKind.STATE_SYNC,
+                report_start,
+                self.env.now,
+                workflow=structure.workflow,
+                invocation_id=invocation_id,
+                function=function,
+                node=self.node.name,
+                parent=spans.root_of(invocation_id),
+                role="sink-report",
+                dst=self.system.client_node.name,
+            )
+        self.system.sink_completed(structure.workflow, invocation_id)
 
     def _notify_local(
         self,
@@ -329,6 +390,76 @@ class WorkerEngine:
             structure.workflow, structure.version, invocation_id, successor
         )
 
+    # -- crash and recovery ---------------------------------------------------
+    def fail(self) -> list[tuple[str, int, InvocationID, str]]:
+        """The node crashed: mark the engine down, collect lost tasks.
+
+        Every local function that was triggered but had not finished
+        executing is reset to untriggered and returned so the system
+        can re-trigger it on recovery.  (``run_function`` marks a
+        function executed and spawns its notifications in one atomic
+        step, so ``executed`` functions never need replay.)
+        """
+        self.down = True
+        self.crash_count += 1
+        pending: list[tuple[str, int, InvocationID, str]] = []
+        for (workflow, version), structure in self._structures.items():
+            for invocation_id, inv_state in structure.invocation_items():
+                for function, state in inv_state.functions.items():
+                    if state.triggered and not state.executed:
+                        state.triggered = False
+                        pending.append(
+                            (workflow, version, invocation_id, function)
+                        )
+        return pending
+
+    def recover(self) -> None:
+        """The node came back: replay the control backlog.
+
+        Deferred messages re-enter through the normal handlers (each
+        paying an engine step, like a real backlog drain would).
+        """
+        self.down = False
+        deferred, self._deferred = self._deferred, []
+        for kind, workflow, version, invocation_id, function in deferred:
+            if (
+                self.system.context(invocation_id) is None
+                or not self.has_structure(workflow, version)
+            ):
+                continue  # the invocation died while we were down
+            handler = (
+                self.receive_state_update
+                if kind == "update"
+                else self.trigger_source
+            )
+            self.system.spawn_registered(
+                handler(workflow, version, invocation_id, function),
+                invocation_id,
+                node=self.node.name,
+                name=f"replay:{self.node.name}:{function}",
+            )
+
+    def retrigger(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        function: str,
+    ) -> bool:
+        """Re-run a task the crash killed, unless it already restarted."""
+        structure = self.structure(workflow, version)
+        state = structure.invocation(invocation_id).state_of(function)
+        if state.triggered or state.executed:
+            return False  # a replayed control message beat us to it
+        state.triggered = True
+        self.system.spawn_registered(
+            self.run_function(workflow, version, invocation_id, function),
+            invocation_id,
+            node=self.node.name,
+            name=f"retrigger:{self.node.name}:{function}",
+        )
+        return True
+
 
 class FaaSFlowSystem:
     """The WorkerSP workflow system: graph-partitioned distributed engines."""
@@ -354,8 +485,10 @@ class FaaSFlowSystem:
         if self.spans.enabled:
             self.metrics.spans = self.spans
         self.policy = policy or FaaStorePolicy(cluster, self.metrics)
+        self.registry = ProcessRegistry()
         self.runtime = FunctionRuntime(
-            cluster, self.config, self.policy, faults=faults
+            cluster, self.config, self.policy, faults=faults,
+            registry=self.registry,
         )
         # The master node doubles as the invoking client (paper §5.1).
         self.client_node = cluster.storage_node
@@ -366,6 +499,29 @@ class FaaSFlowSystem:
         self._deployed: dict[tuple[str, int], _DeployedWorkflow] = {}
         self._current_version: dict[str, int] = {}
         self._contexts: dict[InvocationID, _InvocationContext] = {}
+        self.node_crashes = 0
+        self.retriggered = 0
+        # node name -> tasks lost to a crash, re-triggered on recovery.
+        self._crash_pending: dict[
+            str, list[tuple[str, int, InvocationID, str]]
+        ] = {}
+
+    def spawn_registered(
+        self,
+        generator: Generator,
+        invocation_id: InvocationID,
+        node: str = "",
+        name: str = "",
+    ):
+        """Spawn a process and track it for cancellation.
+
+        ``node`` binds the process to a worker so node crashes kill it;
+        processes left unbound (in-flight messages) die only with their
+        invocation.
+        """
+        process = self.env.process(generator, name=name)
+        self.registry.register(process, invocation_id, node=node)
+        return process
 
     # -- deployment ---------------------------------------------------------
     def engine(self, worker_name: str) -> WorkerEngine:
@@ -486,24 +642,42 @@ class FaaSFlowSystem:
         # The client ships the invocation request to each entry
         # function's worker; from there everything is worker-side.
         for source in dag.sources():
-            self.env.process(
+            self.spawn_registered(
                 self._send_invocation(
                     workflow, version, invocation_id, source, placement
                 ),
+                invocation_id,
                 name=f"invoke:{workflow}:{source}",
             )
         timeout = self.env.timeout(self.config.execution_timeout)
-        finished = yield self.env.any_of(
-            [context.all_done, context.failed, timeout]
-        )
-        if context.all_done in finished:
-            record.finished_at = self.env.now
-        elif context.failed in finished:
+        yield self.env.any_of([context.all_done, context.failed, timeout])
+        # Check failure *before* completion: when a failure report and
+        # the last sink report land in the same timestep, the failure
+        # must win (sink_completed also refuses to count sinks after a
+        # failure, so all_done can't even trigger then).
+        if context.failed.triggered:
             record.status = InvocationStatus.FAILED
+            record.finished_at = self.env.now
+        elif context.all_done.triggered:
             record.finished_at = self.env.now
         else:
             record.status = InvocationStatus.TIMEOUT
             record.finished_at = record.started_at + self.config.execution_timeout
+        if not timeout.processed:
+            # Cancel the watchdog so the kernel heap doesn't accumulate
+            # one 60-second timer per completed invocation.
+            timeout.cancel()
+        if record.status != InvocationStatus.OK:
+            cancelled = self.registry.cancel_invocation(
+                invocation_id,
+                CancelCause(CancelKind.INVOCATION_ABORT, detail=record.status),
+            )
+            if cancelled:
+                self.trace(
+                    Kind.CANCELLED, workflow, invocation_id,
+                    detail=f"{cancelled} process(es)",
+                )
+        self.registry.release_invocation(invocation_id)
         self.policy.cleanup_invocation(dag, invocation_id)
         self.metrics.record_invocation(record)
         self.trace(
@@ -578,6 +752,59 @@ class FaaSFlowSystem:
         context = self._contexts.get(invocation_id)
         if context is None:
             return  # invocation already timed out and was torn down
+        if context.failed is not None and context.failed.triggered:
+            return  # already failed; a late sink can't resurrect it
         context.sinks_remaining -= 1
         if context.sinks_remaining == 0 and not context.all_done.triggered:
             context.all_done.succeed()
+
+    # -- fault hooks (called by FaultDriver) ----------------------------------
+    def on_node_crash(self, node_name: str) -> None:
+        """WorkerSP recovery: engine-level re-triggering.
+
+        The crashed node's tasks are killed with the *terminal*
+        NODE_STOP cause — its engine is gone, so there is no runtime
+        left to retry inside.  Instead the engine records which local
+        functions were lost and re-triggers them when the node (and its
+        sub-graph state) comes back.
+        """
+        engine = self.engines.get(node_name)
+        if engine is None:
+            return
+        cancelled = self.registry.cancel_node(
+            node_name, CancelCause(CancelKind.NODE_STOP, detail=node_name)
+        )
+        pending = engine.fail()
+        if pending:
+            self._crash_pending.setdefault(node_name, []).extend(pending)
+        self.node_crashes += 1
+        self.trace(
+            Kind.NODE_CRASH, "", 0, node=node_name,
+            detail=f"killed {cancelled} process(es), lost {len(pending)} task(s)",
+        )
+
+    def on_node_recovery(self, node_name: str) -> None:
+        engine = self.engines.get(node_name)
+        if engine is None:
+            return
+        # First drain the control messages that queued during the
+        # outage (they may re-trigger some lost tasks themselves)...
+        engine.recover()
+        # ...then re-trigger whatever the crash killed and nothing has
+        # restarted yet, for invocations that are still alive.
+        retriggered = 0
+        for workflow, version, invocation_id, function in self._crash_pending.pop(
+            node_name, []
+        ):
+            if (
+                invocation_id not in self._contexts
+                or not engine.has_structure(workflow, version)
+            ):
+                continue
+            if engine.retrigger(workflow, version, invocation_id, function):
+                retriggered += 1
+        self.retriggered += retriggered
+        self.trace(
+            Kind.NODE_RECOVERY, "", 0, node=node_name,
+            detail=f"retriggered {retriggered} task(s)",
+        )

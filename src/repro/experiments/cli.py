@@ -55,6 +55,14 @@ EXPERIMENTS: dict[str, tuple[Callable, dict]] = {
     "sec6": (sec6_memory_vs_network.run, {"invocations": 8}),
     "ablations": (ablations.run, {"invocations": 2}),
     "faults": (ext_fault_resilience.run, {"invocations": 4}),
+    "faults-nodes": (
+        ext_fault_resilience.run_node_crashes,
+        {"invocations": 3, "crashes": (1,), "degradations": 1},
+    ),
+    "faults-backoff": (
+        ext_fault_resilience.run_backoff,
+        {"invocations": 3, "bases": (0.0, 0.1)},
+    ),
 }
 
 

@@ -65,6 +65,7 @@ class InvocationRecord:
     # subtracted from e2e latency to obtain scheduling overhead (§2.3).
     critical_path_exec: float = 0.0
     cold_starts: int = 0
+    retries: int = 0  # task attempts beyond the first, summed over tasks
 
     @property
     def latency(self) -> float:

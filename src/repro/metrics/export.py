@@ -36,6 +36,7 @@ _INVOCATION_FIELDS = [
     "status",
     "critical_path_exec",
     "cold_starts",
+    "retries",
 ]
 
 _TRANSFER_FIELDS = [
@@ -109,6 +110,8 @@ def read_invocations_csv(path: PathLike) -> list[InvocationRecord]:
                     status=row["status"],
                     critical_path_exec=float(row["critical_path_exec"]),
                     cold_starts=int(row["cold_starts"]),
+                    # Absent in CSVs written before retries existed.
+                    retries=int(row.get("retries", 0) or 0),
                 )
             )
     return records

@@ -60,6 +60,10 @@ class SpanKind:
     NET = "net"
     CONTAINER = "container"
     SPILL = "spill"
+    # Fault-tolerance annotations: infrastructure faults fired by a
+    # FaultDriver and retry/cancellation decisions in the task runtime.
+    FAULT = "fault"
+    RETRY = "retry"
 
 
 @dataclass

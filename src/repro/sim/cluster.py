@@ -85,8 +85,34 @@ class Node:
             env, name, self.cpu, self.memory, container_spec
         )
         self.memstore = LocalMemStore(env, name)
+        self._up = True
         self._faastore_pool_handle: Optional[int] = None
         self._faastore_pools: dict[str, float] = {}
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def fail(self) -> int:
+        """Crash this node: every container dies, nothing new starts.
+
+        Returns the number of containers destroyed.  Interrupting the
+        processes that were using them is the workflow system's job
+        (via its :class:`~repro.core.faults.ProcessRegistry`) — the
+        substrate only models the hardware going away.
+        """
+        if not self._up:
+            return 0
+        self._up = False
+        self.containers.set_offline(True)
+        return self.containers.fail_all()
+
+    def recover(self) -> None:
+        """Bring the node back empty: everything cold-starts again."""
+        if self._up:
+            return
+        self._up = True
+        self.containers.set_offline(False)
 
     def set_faastore_quota(self, quota: float, workflow: str = "_default") -> None:
         """Pin a workflow's reclaimed FaaStore pool on this node.

@@ -168,8 +168,13 @@ class ContainerPool:
         # these functions are created with a shrunk cgroup limit, the
         # difference having been handed to the FaaStore pool.
         self._function_limits: dict[str, float] = {}
+        # Acquire events whose waiter was interrupted while a cold start
+        # was in flight for them: the container joins the pool unclaimed.
+        self._abandoned: set[int] = set()
+        self.offline = False
         self.cold_starts = 0
         self.warm_reuses = 0
+        self.node_failures = 0
         self.spans = NULL_SPANS
 
     def set_function_limit(self, function: str, limit: float) -> None:
@@ -250,9 +255,63 @@ class ContainerPool:
 
     def _can_cold_start(self, function: str) -> bool:
         return (
-            self.count(function) < self.spec.max_per_function
+            not self.offline
+            and self.count(function) < self.spec.max_per_function
             and self.memory.available >= self.function_limit(function)
         )
+
+    def set_offline(self, offline: bool) -> None:
+        """Stop (or resume) creating containers on this node.
+
+        While offline every acquire queues; coming back online serves
+        the backlog with fresh cold starts.
+        """
+        self.offline = bool(offline)
+        if not self.offline:
+            self._serve_waiting()
+
+    def fail_all(self) -> int:
+        """Node crash: every container dies at once; returns the count.
+
+        Busy containers' memory frees immediately (the processes holding
+        them are interrupted separately and must not release a dead
+        container); cold-starting containers die too, their waiters get
+        back in line for a fresh start.  Take the pool offline first so
+        the freed capacity is not instantly re-consumed.
+        """
+        destroyed = 0
+        for containers in list(self._all.values()):
+            for container in list(containers):
+                self._destroy(container, serve_waiting=False)
+                destroyed += 1
+        for idle in self._idle.values():
+            idle.clear()
+        if destroyed:
+            self.node_failures += 1
+        return destroyed
+
+    def abandon(self, event: Event) -> None:
+        """A waiter gave up on an acquire (it was interrupted).
+
+        Safe at any stage of the request: still queued (withdrawn), cold
+        start in flight (the container joins the warm pool when ready),
+        or granted-but-undelivered (the container is released).
+        """
+        if event.triggered:
+            container = event.value
+            if (
+                isinstance(container, Container)
+                and container.state == ContainerState.BUSY
+            ):
+                self.release(container)
+            return
+        for queue in self._waiting.values():
+            for request in queue:
+                if request.event is event:
+                    queue.remove(request)
+                    return
+        # Pending but not queued: a cold start is running for it.
+        self._abandoned.add(id(event))
 
     def release(self, container: Container) -> None:
         """Return a container to the warm pool (or hand it to a waiter)."""
@@ -356,6 +415,13 @@ class ContainerPool:
         timer = self.env.timeout(self.spec.cold_start_time)
 
         def _ready(_: Event) -> None:
+            if container.state == ContainerState.DEAD:
+                # The node died mid cold start.  The waiter (unless it
+                # was interrupted too) gets back in line to start fresh
+                # once the node is reachable again.
+                if not self._take_abandoned(event):
+                    self._requeue(function, version, event)
+                return
             container.state = ContainerState.BUSY
             container.invocations += 1
             if self.spans.enabled:
@@ -364,9 +430,28 @@ class ContainerPool:
                     function=function, lifecycle="cold-start",
                     container=container.container_id,
                 )
+            if self._take_abandoned(event):
+                # Nobody is waiting any more: park the container warm.
+                self.release(container)
+                return
             event.succeed(container)
 
         timer.callbacks.append(_ready)
+
+    def _take_abandoned(self, event: Event) -> bool:
+        key = id(event)
+        if key in self._abandoned:
+            self._abandoned.remove(key)
+            return True
+        return False
+
+    def _requeue(self, function: str, version: int, event: Event) -> None:
+        if self._can_cold_start(function):
+            self._cold_start(function, version, event)
+        else:
+            self._waiting.setdefault(function, deque()).append(
+                _PoolRequest(event, function, version)
+            )
 
     def _destroy(self, container: Container, serve_waiting: bool = True) -> None:
         if container.state == ContainerState.DEAD:

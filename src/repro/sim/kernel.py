@@ -175,18 +175,25 @@ class Timeout(Event):
     def cancel(self) -> None:
         """Discard the timeout: its callbacks will never run.
 
-        The heap entry stays queued until its scheduled time but is
-        dropped unprocessed when popped — no callback invocation, no
-        version-counter churn.  This is for timers that get superseded
-        before they fire (the network's completion wake-up, a
-        container's keep-alive expiry).  The caller is responsible for
-        not cancelling a timeout some process still waits on (that
-        process would never resume).  Cancelling twice is a no-op;
-        cancelling an already-processed timeout is an error.
+        The heap entry usually stays queued until its scheduled time and
+        is dropped unprocessed when popped — no callback invocation, no
+        version-counter churn.  When cancelled-but-queued timers come to
+        dominate the heap (long watchdogs cancelled long before their
+        deadline), the environment compacts them out so the heap stays
+        proportional to *live* events.  This is for timers that get
+        superseded before they fire (the network's completion wake-up, a
+        container's keep-alive expiry, an invocation's execution
+        watchdog).  The caller is responsible for not cancelling a
+        timeout some process still waits on (that process would never
+        resume).  Cancelling twice is a no-op; cancelling an
+        already-processed timeout is an error.
         """
         if self._state == PROCESSED:
             raise SimulationError("cannot cancel a processed timeout")
+        if self._cancelled:
+            return
         self._cancelled = True
+        self.env._note_cancelled_timer()
 
     def _process_callbacks(self) -> None:
         if self._cancelled:
@@ -195,6 +202,7 @@ class Timeout(Event):
             # free-list expect) and the flag resets so a pooled reuse
             # starts clean.
             self._cancelled = False
+            self.env._cancelled_timers -= 1
             self._state = PROCESSED
             self.callbacks.clear()
             return
@@ -366,6 +374,13 @@ class Process(Event):
         self.env._schedule_resume(self._resume, False, Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
+        if self._state != PENDING:
+            # Stale wake-up: the process finished earlier in this
+            # timestep (its awaited value was already queued when an
+            # interrupt was scheduled, or two parties interrupted it).
+            # Sending into the exhausted generator would re-trigger the
+            # event; dropping the delivery is the correct semantics.
+            return
         env = self.env
         env._active_process = self
         self._target = None
@@ -423,6 +438,7 @@ class Environment:
         "_crashed",
         "_timeout_pool",
         "_resume_pool",
+        "_cancelled_timers",
     )
 
     def __init__(self, initial_time: float = 0.0):
@@ -431,6 +447,7 @@ class Environment:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: list[tuple[Process, BaseException]] = []
+        self._cancelled_timers = 0
         # Free-lists for the two hottest allocations: Timeout events
         # (recycled only once provably unreferenced) and kernel-internal
         # _Resume entries (never escape, always recycled).
@@ -499,6 +516,39 @@ class Environment:
             entry = _Resume(callback, ok, value)
         self._eid += 1
         heappush(self._queue, (self._now, self._eid, entry))
+
+    def _note_cancelled_timer(self) -> None:
+        """Bookkeeping hook for :meth:`Timeout.cancel`.
+
+        When cancelled timers make up more than half of a non-trivial
+        heap, rebuild it without them: long-deadline watchdogs that are
+        cancelled on every completion (one 60 s execution timeout per
+        invocation, say) would otherwise accumulate for their full
+        nominal delay and make the heap grow with throughput instead of
+        with live work.
+        """
+        self._cancelled_timers += 1
+        count = self._cancelled_timers
+        if count < 64 or count * 2 < len(self._queue):
+            return
+        from heapq import heapify
+
+        keep = []
+        for entry in self._queue:
+            event = entry[2]
+            if isinstance(event, Timeout) and event._cancelled:
+                # Same retirement path a popped cancelled timer takes.
+                event._cancelled = False
+                event._state = PROCESSED
+                event.callbacks.clear()
+                self._recycle(event)
+            else:
+                keep.append(entry)
+        heapify(keep)
+        # In-place: run()'s inlined dispatch loops hold a local alias
+        # of the queue list, so the identity must not change.
+        self._queue[:] = keep
+        self._cancelled_timers = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

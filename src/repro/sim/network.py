@@ -391,6 +391,18 @@ class Network:
                 )
             )
 
+    def set_nic_bandwidth(self, nic: NIC, bandwidth: float) -> None:
+        """Reconfigure a NIC mid-run; active flows re-share immediately.
+
+        ``NIC.set_bandwidth`` alone only affects flows admitted later;
+        this settles in-flight progress at the old rates first and then
+        re-runs water-filling over the affected component, which is what
+        a transient degradation window needs.
+        """
+        self._advance()
+        nic.set_bandwidth(bandwidth)
+        self._rebalance((nic.egress, nic.ingress))
+
     def _advance(self) -> None:
         """Progress all active flows up to the current time."""
         dt = self.env.now - self._last_advance

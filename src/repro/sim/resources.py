@@ -94,6 +94,18 @@ class CPUAllocator:
         self._resource.release(request)
         self.usage.add(-request.amount)
 
+    def cancel(self, request) -> None:
+        """Withdraw a request safely whether or not it was granted.
+
+        Interrupted waiters must not call :meth:`release` directly: the
+        usage integral is only credited by the grant callback, so
+        releasing an ungranted request would drive it negative.
+        """
+        if self._resource.holds(request):
+            self.release(request)
+        else:
+            request.cancel()
+
     @property
     def busy(self) -> int:
         return self._resource.in_use

@@ -87,6 +87,10 @@ class Resource:
         self._grant()
         return req
 
+    def holds(self, request: _Request) -> bool:
+        """Whether ``request`` has been granted and not yet released."""
+        return id(request) in self._granted
+
     def release(self, request: _Request) -> None:
         """Return the slots held by ``request`` (idempotent)."""
         if id(request) in self._granted:

@@ -1,0 +1,189 @@
+"""Tests for the node-crash substrate: pool failure, offline gating,
+acquire abandonment, and mid-flow bandwidth changes."""
+
+import pytest
+
+from repro.sim import (
+    Cluster,
+    ClusterConfig,
+    ContainerSpec,
+    Environment,
+    MB,
+)
+from repro.sim.container import ContainerState
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(
+        env,
+        ClusterConfig(
+            workers=2, container=ContainerSpec(cold_start_time=0.1)
+        ),
+    )
+
+
+def acquire_one(env, pool, function="f"):
+    """Drive one acquire to completion and return the container."""
+    got = {}
+
+    def proc():
+        container = yield pool.acquire(function)
+        got["container"] = container
+
+    done = env.process(proc())
+    env.run(until=done)
+    return got["container"]
+
+
+class TestNodeFail:
+    def test_fail_destroys_all_containers(self, env, cluster):
+        node = cluster.workers[0]
+        pool = node.containers
+        busy = acquire_one(env, pool, "a")
+        idle = acquire_one(env, pool, "b")
+        pool.release(idle)
+        destroyed = node.fail()
+        assert destroyed == 2
+        assert not node.up
+        assert busy.state == ContainerState.DEAD
+        assert idle.state == ContainerState.DEAD
+        assert pool.node_failures == 1
+
+    def test_fail_is_idempotent(self, env, cluster):
+        node = cluster.workers[0]
+        acquire_one(env, node.containers)
+        assert node.fail() == 1
+        assert node.fail() == 0  # already down
+        assert node.containers.node_failures == 1
+
+    def test_offline_pool_queues_until_recovery(self, env, cluster):
+        node = cluster.workers[0]
+        node.fail()
+        state = {}
+
+        def proc():
+            container = yield node.containers.acquire("f")
+            state["at"] = env.now
+            state["container"] = container
+
+        env.process(proc())
+        env.run(until=1.0)
+        assert "at" not in state  # blocked while offline
+        node.recover()
+        env.run(until=2.0)
+        # Served after recovery: cold start from an empty node.
+        assert state["at"] == pytest.approx(1.0 + 0.1)
+        assert state["container"].state == ContainerState.BUSY
+
+    def test_recover_without_fail_is_noop(self, env, cluster):
+        node = cluster.workers[0]
+        assert node.up
+        node.recover()
+        assert node.up
+
+
+class TestAbandon:
+    def test_abandon_granted_acquire_releases_container(self, env, cluster):
+        pool = cluster.workers[0].containers
+
+        def proc():
+            event = pool.acquire("f")
+            container = yield event
+            # The waiter changed its mind after the grant.
+            pool.abandon(event)
+            assert container.state == ContainerState.IDLE
+
+        done = env.process(proc())
+        env.run(until=done)
+
+    def test_abandon_waiting_request_is_removed(self, env, cluster):
+        env2 = Environment()
+        cluster2 = Cluster(
+            env2,
+            ClusterConfig(
+                workers=1,
+                container=ContainerSpec(
+                    cold_start_time=0.1, max_per_function=1
+                ),
+            ),
+        )
+        pool = cluster2.workers[0].containers
+        first = acquire_one(env2, pool, "f")
+        event = pool.acquire("f")  # queues behind the limit
+        pool.abandon(event)
+        pool.release(first)
+        env2.run(until=env2.now + 1.0)
+        # The abandoned waiter never got the container.
+        assert not event.triggered
+
+    def test_abandon_cold_start_in_flight(self, env, cluster):
+        pool = cluster.workers[0].containers
+        event = pool.acquire("f")  # cold start begins
+        pool.abandon(event)
+        env.run(until=0.5)
+        # The cold start completed but nobody took the container: it
+        # must sit warm in the pool, not leak as BUSY.
+        assert not event.triggered
+        warm = acquire_one(env, pool, "f")
+        assert warm.invocations >= 1 or warm.state == ContainerState.BUSY
+
+    def test_cold_start_racing_node_failure_requeues(self, env, cluster):
+        node = cluster.workers[0]
+        pool = node.containers
+        state = {}
+
+        def proc():
+            container = yield pool.acquire("f")
+            state["at"] = env.now
+            state["container"] = container
+
+        env.process(proc())
+        env.run(until=0.05)  # cold start half done
+        node.fail()
+        env.run(until=0.5)
+        assert "at" not in state  # the starting container died
+        node.recover()
+        env.run(until=2.0)
+        assert state["container"].state == ContainerState.BUSY
+
+
+class TestBandwidthChange:
+    def test_set_nic_bandwidth_rebalances_active_flows(self):
+        def transfer_time(degrade_at=None, factor=0.25):
+            env = Environment()
+            cluster = Cluster(env, ClusterConfig(workers=2))
+            src = cluster.workers[0].nic
+            dst = cluster.workers[1].nic
+            done = cluster.network.transfer(src, dst, 100 * MB)
+            finished = {}
+
+            def watcher():
+                yield done
+                finished["at"] = env.now
+
+            env.process(watcher())
+            if degrade_at is not None:
+                original = src.bandwidth
+
+                def degrader():
+                    yield env.timeout(degrade_at)
+                    cluster.network.set_nic_bandwidth(
+                        src, original * factor
+                    )
+
+                env.process(degrader())
+            env.run(until=60.0)
+            return finished["at"]
+
+        baseline = transfer_time()
+        degraded = transfer_time(degrade_at=baseline / 2)
+        # The second half of the transfer ran at quarter speed, so the
+        # flow must finish strictly later — and the slowdown must apply
+        # to the *in-flight* flow, not only to new ones.
+        assert degraded > baseline * 1.5
