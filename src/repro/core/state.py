@@ -25,6 +25,7 @@ __all__ = [
     "Placement",
     "PlacementError",
     "new_invocation_id",
+    "reset_invocation_ids",
 ]
 
 InvocationID = int
@@ -35,6 +36,19 @@ _invocation_counter = itertools.count(1)
 def new_invocation_id() -> InvocationID:
     """Globally unique invocation identifier."""
     return next(_invocation_counter)
+
+
+def reset_invocation_ids(base: int = 1) -> None:
+    """Restart the invocation-id sequence at ``base``.
+
+    Sharded cell execution gives every cell a disjoint, deterministic id
+    range (``cell_index * stride + 1``) so invocation records come out
+    identical no matter which worker process — or how many — ran the
+    cell.  Never call this mid-run; ids must stay unique within a
+    simulation.
+    """
+    global _invocation_counter
+    _invocation_counter = itertools.count(base)
 
 
 class PlacementError(ValueError):

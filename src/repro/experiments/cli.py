@@ -92,6 +92,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_jobs_argument(parser)
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run shard-aware experiments (fig_scale) on N conservatively-"
+        "synchronized shard processes; others ignore this flag",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also write each result's table to DIR/<id>.csv",
@@ -141,10 +149,13 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {k: v for k, v in kwargs.items() if v is not None}
         if name == "fig12" and args.quick:
             kwargs.setdefault("bandwidths", (25 * 1024 * 1024, 100 * 1024 * 1024))
-        if args.jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+        parameters = inspect.signature(runner).parameters
+        if args.jobs != 1 and "jobs" in parameters:
             # Sweep-style experiments fan their independent cells out
             # across a process pool; the rest ignore --jobs.
             kwargs["jobs"] = args.jobs
+        if args.shards != 1 and "shards" in parameters:
+            kwargs["shards"] = args.shards
         result = runner(**kwargs)
         print(result.format())
         if args.chart:

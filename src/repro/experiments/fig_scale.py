@@ -28,10 +28,55 @@ import time
 from ..sim import Environment, MB
 from .common import ExperimentResult, ParallelRunner
 
-__all__ = ["run", "drive_network", "DEFAULT_NODES", "DEFAULT_FLOWS"]
+__all__ = [
+    "run",
+    "drive_network",
+    "drive_network_sharded",
+    "make_plan",
+    "DEFAULT_NODES",
+    "DEFAULT_FLOWS",
+]
 
 DEFAULT_NODES = (8, 32, 64, 128)
 DEFAULT_FLOWS = (10, 100, 500, 1000)
+
+
+def make_plan(
+    nodes: int,
+    flows: int,
+    seed: int = 11,
+    group_size: int = 8,
+    hotspot_fraction: float = 0.3,
+) -> list[tuple[float, float, int, int, float]]:
+    """Generate the arrival plan: ``(gap, at, src, dst, size)`` entries.
+
+    ``gap`` is the inter-arrival delay consumed by the serial driver's
+    timeout loop; ``at`` is the same instant as an absolute timestamp
+    (``at = previous at + gap``, the identical float-addition sequence the
+    kernel performs when accumulating timeouts, so both representations
+    land on bit-identical start times).  Pre-generating the plan keeps
+    RNG consumption identical no matter which module or shard layout
+    executes it.
+    """
+    rng = random.Random(seed)
+    window = max(0.25, flows / 400.0)  # arrival burst, simulated seconds
+    group_size = min(group_size, nodes)
+    groups = [
+        range(base, min(base + group_size, nodes))
+        for base in range(0, nodes, group_size)
+    ]
+    plan = []
+    t = 0.0
+    for _ in range(flows):
+        group = groups[rng.randrange(len(groups))]
+        src, dst = rng.sample(group, 2)
+        if rng.random() < hotspot_fraction and src != group[0]:
+            dst = group[0]
+        size = rng.uniform(4.0, 40.0) * MB
+        gap = rng.uniform(0.0, window / flows)
+        t = t + gap
+        plan.append((gap, t, src, dst, size))
+    return plan
 
 
 def drive_network(
@@ -51,31 +96,17 @@ def drive_network(
     ``benchmarks/_seed_network.py`` baseline — so the same byte-exact
     workload drives both sides of an A/B comparison.
     """
-    rng = random.Random(seed)
-    # Pre-generate the arrival plan so RNG consumption stays identical
-    # no matter which module executes it.
-    window = max(0.25, flows / 400.0)  # arrival burst, simulated seconds
-    group_size = min(group_size, nodes)
-    groups = [
-        range(base, min(base + group_size, nodes))
-        for base in range(0, nodes, group_size)
-    ]
-    plan = []
-    for _ in range(flows):
-        group = groups[rng.randrange(len(groups))]
-        src, dst = rng.sample(group, 2)
-        if rng.random() < hotspot_fraction and src != group[0]:
-            dst = group[0]
-        size = rng.uniform(4.0, 40.0) * MB
-        gap = rng.uniform(0.0, window / flows)
-        plan.append((gap, src, dst, size))
+    plan = make_plan(
+        nodes, flows, seed=seed,
+        group_size=group_size, hotspot_fraction=hotspot_fraction,
+    )
 
     env = Environment()
     net = network_module.Network(env, network_module.NetworkConfig())
     nics = [net.attach(f"n{i}", bandwidth) for i in range(nodes)]
 
     def starter(env):
-        for gap, src, dst, size in plan:
+        for gap, _at, src, dst, size in plan:
             yield env.timeout(gap)
             net.transfer(nics[src], nics[dst], size)
 
@@ -100,6 +131,69 @@ def drive_network(
     return out
 
 
+def drive_network_sharded(
+    nodes: int,
+    flows: int,
+    shards: int,
+    seed: int = 11,
+    group_size: int = 8,
+    hotspot_fraction: float = 0.3,
+    bandwidth: float = 100 * MB,
+    processes: bool = True,
+    strict: bool = True,
+    collect_records: bool = False,
+) -> dict:
+    """Run one sweep cell on ``shards`` conservatively-synchronized shards.
+
+    Uses the same byte-exact arrival plan as :func:`drive_network` but in
+    its absolute-time form, executed through ``repro.sim.shard``.  The
+    default partition keeps each ``group_size`` traffic group whole, so
+    no flow crosses a shard boundary and records come out bit-identical
+    to a single analytic run (``strict=True`` enforces exactly that).
+    """
+    from ..sim.shard import run_network_sharded
+
+    plan = make_plan(
+        nodes, flows, seed=seed,
+        group_size=group_size, hotspot_fraction=hotspot_fraction,
+    )
+    names = [f"n{i}" for i in range(nodes)]
+    abs_plan = [
+        (at, f"n{src}", f"n{dst}", size)
+        for _gap, at, src, dst, size in plan
+    ]
+    group_size = min(group_size, nodes)
+    n_groups = -(-nodes // group_size)
+    shards = min(shards, n_groups)  # a group can never straddle shards
+    start = time.perf_counter()
+    result = run_network_sharded(
+        abs_plan,
+        names,
+        shards,
+        bandwidth=bandwidth,
+        group_size=group_size,
+        processes=processes,
+        strict=strict,
+    )
+    wall = time.perf_counter() - start
+    events = 2 * flows
+    out = {
+        "nodes": nodes,
+        "flows": flows,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else float("inf"),
+        "sim_makespan": result["makespan"],
+        "shards": result["shards"],
+        "rounds": result["rounds"],
+        "cross_flows": result["cross_flows"],
+        "backend": result["backend"],
+    }
+    if collect_records:
+        out["records"] = result["records"]
+    return out
+
+
 def _cell(task: tuple) -> dict:
     """One sweep cell against the live network model (pool-shippable)."""
     nodes, flows, seed = task
@@ -113,6 +207,7 @@ def run(
     flows: tuple[int, ...] = DEFAULT_FLOWS,
     seed: int = 11,
     jobs: int = 1,
+    shards: int = 1,
 ) -> ExperimentResult:
     cells = [
         (n, f, seed + index)
@@ -120,35 +215,55 @@ def run(
             (n, f) for n in nodes for f in flows
         )
     ]
-    results = ParallelRunner(jobs).map(_cell, cells)
+    if shards > 1:
+        # Shard workers provide the parallelism inside each cell, so the
+        # cells themselves run serially regardless of --jobs.
+        results = [
+            drive_network_sharded(n, f, shards, seed=s) for n, f, s in cells
+        ]
+    else:
+        results = ParallelRunner(jobs).map(_cell, cells)
     rows = []
     for stats in results:
-        rows.append(
-            [
-                stats["nodes"],
-                stats["flows"],
-                round(stats["wall_seconds"] * 1000, 2),
-                round(stats["events_per_sec"]),
-                round(stats["sim_makespan"], 3),
-            ]
-        )
+        row = [
+            stats["nodes"],
+            stats["flows"],
+            round(stats["wall_seconds"] * 1000, 2),
+            round(stats["events_per_sec"]),
+            round(stats["sim_makespan"], 3),
+        ]
+        if shards > 1:
+            row += [stats["shards"], stats["rounds"]]
+        rows.append(row)
+    headers = [
+        "nodes",
+        "flows",
+        "wall (ms)",
+        "events/sec",
+        "sim makespan (s)",
+    ]
+    if shards > 1:
+        headers += ["shards", "rounds"]
     return ExperimentResult(
         experiment="fig_scale",
         title="Fluid network model throughput vs cluster size x concurrent flows",
-        headers=[
-            "nodes",
-            "flows",
-            "wall (ms)",
-            "events/sec",
-            "sim makespan (s)",
-        ],
+        headers=headers,
         rows=rows,
         notes=[
             "events/sec = flow arrivals + completions over real wall time; "
             "simulated results are wall-time independent",
             "A/B speedup vs the frozen pre-optimization model lives in "
             "BENCH_network.json (benchmarks/test_bench_network.py)",
-        ],
+        ]
+        + (
+            [
+                "sharded cells use the analytic progress mode with "
+                "conservative windows; records are bit-identical to a "
+                "single analytic run (strict partition alignment)"
+            ]
+            if shards > 1
+            else []
+        ),
         data={"cells": list(results)},
     )
 

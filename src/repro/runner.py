@@ -207,6 +207,7 @@ def run_trials(
     trials: int = 3,
     jobs: int = 1,
     seed: int = 13,
+    shards: int | None = None,
     **run_kwargs,
 ) -> list[RunSummary]:
     """Run ``trials`` independent repetitions of a workflow run.
@@ -216,9 +217,34 @@ def run_trials(
     execute serially or fan out over ``jobs`` worker processes.
     ``source`` is a WDL path or benchmark name (re-loaded per worker —
     live DAG/system objects never cross the process boundary).
+
+    ``shards`` routes the trials through the sharded cell machinery
+    (``repro.sim.shard.run_workflow_cells``) instead: each trial becomes
+    one cell with a pinned, disjoint invocation-id range, so the
+    returned summaries — including their ``records`` tuples — are
+    bit-identical for any shard count (``jobs`` is ignored in that
+    mode; the shard workers are the process pool).
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    if shards is not None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        from .sim.shard import run_workflow_cells
+
+        # Build cell specs directly (not via make_workflow_cell) so that
+        # omitted kwargs keep run_workflow's own defaults, exactly like
+        # the non-sharded path.
+        cells = [
+            dict(
+                workload=source,
+                seed=derive_seed(seed, "trial", index),
+                **run_kwargs,
+            )
+            for index in range(trials)
+        ]
+        results = run_workflow_cells(cells, shards=shards)
+        return [RunSummary(result) for result in results]
     tasks = [
         (source, derive_seed(seed, "trial", index), dict(run_kwargs))
         for index in range(trials)
@@ -315,6 +341,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_jobs_argument(parser)
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="with --trials: run the trials as shard cells on N worker "
+        "processes (bit-identical to serial; overrides --jobs)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=13,
         help="base seed for arrivals/faults (trials derive from it)",
     )
@@ -364,10 +395,17 @@ def main(argv: list[str] | None = None) -> int:
             trials=args.trials,
             jobs=args.jobs,
             seed=args.seed,
+            shards=args.shards,
             **run_kwargs,
         )
         print(_format_trials(summaries))
         return 0
+    if args.shards is not None:
+        print(
+            "note: --shards only applies with --trials > 1 "
+            "(a single run has nothing to shard)",
+            file=sys.stderr,
+        )
     summary = run_workflow(
         dag,
         trace=args.trace,

@@ -439,15 +439,26 @@ class Environment:
         "_timeout_pool",
         "_resume_pool",
         "_cancelled_timers",
+        "_compaction_threshold",
     )
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        timer_compaction_threshold: int = 64,
+    ):
+        if timer_compaction_threshold < 1:
+            raise SimulationError(
+                "timer_compaction_threshold must be >= 1, got "
+                f"{timer_compaction_threshold}"
+            )
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: list[tuple[Process, BaseException]] = []
         self._cancelled_timers = 0
+        self._compaction_threshold = int(timer_compaction_threshold)
         # Free-lists for the two hottest allocations: Timeout events
         # (recycled only once provably unreferenced) and kernel-internal
         # _Resume entries (never escape, always recycled).
@@ -462,6 +473,11 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def timer_compaction_threshold(self) -> int:
+        """Cancelled-timer count below which heap compaction never runs."""
+        return self._compaction_threshold
 
     # -- event factories ----------------------------------------------
     def event(self) -> Event:
@@ -481,6 +497,42 @@ class Environment:
             heappush(self._queue, (self._now + delay, self._eid, event))
             return event
         return Timeout(self, delay, value)
+
+    def schedule_at(self, when: float, value: Any = None) -> Timeout:
+        """Schedule a timeout at an *absolute* simulation time.
+
+        Unlike ``timeout(when - now)``, the heap entry carries ``when``
+        exactly — no ``now + delay`` round-trip through floating point —
+        so two environments that agree on ``when`` fire the event at
+        bit-identical times regardless of what their local clocks read
+        when it was scheduled.  This is the injection primitive the shard
+        coordinator uses to deliver cross-shard messages with exact
+        timestamps, and the network's analytic progress mode uses for
+        completion timers.  ``when`` must not be in the past.
+        """
+        when = float(when)
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when}, clock already at {self._now}"
+            )
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event._state = TRIGGERED
+            event._ok = True
+            event._value = value
+        else:
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = []
+            event._state = TRIGGERED
+            event._value = value
+            event._ok = True
+            event._cancelled = False
+        event.delay = when - self._now
+        self._eid += 1
+        heappush(self._queue, (when, self._eid, event))
+        return event
 
     def process(
         self, generator: Generator[Event, Any, Any], name: str = ""
@@ -529,7 +581,7 @@ class Environment:
         """
         self._cancelled_timers += 1
         count = self._cancelled_timers
-        if count < 64 or count * 2 < len(self._queue):
+        if count < self._compaction_threshold or count * 2 < len(self._queue):
             return
         from heapq import heapify
 
@@ -551,8 +603,30 @@ class Environment:
         self._cancelled_timers = 0
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next event that will actually fire, or ``inf``.
+
+        Lazily-cancelled timeouts parked at the head of the heap are
+        popped and retired on the way: they would otherwise make ``peek``
+        report a time at which nothing observable happens.  The shard
+        coordinator's conservative-window lookahead depends on this —
+        a stale head would both shrink windows needlessly and, worse,
+        keep a drained shard looking busy forever.
+        """
+        queue = self._queue
+        while queue:
+            when, _, event = queue[0]
+            if type(event) is Timeout and event._cancelled:
+                heappop(queue)
+                # Same retirement path _process_callbacks takes for a
+                # cancelled timer popped by the dispatch loop.
+                event._cancelled = False
+                event._state = PROCESSED
+                event.callbacks.clear()
+                self._cancelled_timers -= 1
+                self._recycle(event)
+                continue
+            return when
+        return float("inf")
 
     def step(self) -> None:
         """Process the next event; raises if the queue is empty."""

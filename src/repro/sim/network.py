@@ -31,6 +31,25 @@ Small control messages (task assignments, state synchronization) are
 latency-dominated and bypass the fluid machinery: they cost propagation
 latency plus nominal serialization time.  The threshold separating the
 two regimes is configurable.
+
+Progress modes
+--------------
+``NetworkConfig.progress`` selects how flow byte-counters advance:
+
+- ``"stepped"`` (default) — the historical behavior: every network
+  event advances *all* active flows to the current time before rates
+  change.  A flow's ``remaining`` is always current, but its value
+  depends on the global event cadence (each intermediate event splits
+  the float subtraction differently).
+- ``"analytic"`` — flows settle only at their *own* component's
+  rebalances, and completions are scheduled at absolute times via
+  :meth:`Environment.schedule_at`.  Because a class's byte trajectory
+  then depends only on the event history of its own connected
+  component, two simulations that partition disjoint components across
+  shards produce bit-identical completion times — this is the mode the
+  shard coordinator runs, and it is also faster (no per-flow global
+  advance).  The two modes agree to float tolerance but not bit-for-bit,
+  which is why stepped stays the default for the frozen-seed benches.
 """
 
 from __future__ import annotations
@@ -75,13 +94,20 @@ class _Link:
 
 
 class NIC:
-    """A node's network interface: an egress link and an ingress link."""
+    """A node's network interface: an egress link and an ingress link.
 
-    def __init__(self, name: str, bandwidth: float):
+    A NIC with ``remote=True`` is a *proxy* for a node that lives in a
+    different simulation shard: flows targeting it are simulated on the
+    source side (local contention only) and their completion records are
+    exported through :attr:`Network.cross_outbox` for barrier delivery.
+    """
+
+    def __init__(self, name: str, bandwidth: float, remote: bool = False):
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be > 0, got {bandwidth}")
         self.name = name
         self.bandwidth = float(bandwidth)
+        self.remote = remote
         self.egress = _Link(f"{name}.egress", bandwidth)
         self.ingress = _Link(f"{name}.ingress", bandwidth)
 
@@ -162,7 +188,17 @@ class _FlowClass:
     per-flow.
     """
 
-    __slots__ = ("links", "flows", "rate", "order", "mark")
+    __slots__ = (
+        "links",
+        "flows",
+        "rate",
+        "order",
+        "mark",
+        "since",
+        "least",
+        "eps_max",
+        "finish_at",
+    )
 
     def __init__(self, links: tuple[_Link, _Link]):
         self.links = links
@@ -175,6 +211,14 @@ class _FlowClass:
         # add/remove so sorting needs no per-class function call.
         self.order = 0
         self.mark = 0  # BFS visit epoch (see Network._component)
+        # Analytic-progress bookkeeping (unused in stepped mode): time of
+        # the last settle, min remaining / max finish_eps over members as
+        # of that settle, and the absolute completion time of the member
+        # that will finish first at the current rate.
+        self.since = 0.0
+        self.least = _INF
+        self.eps_max = 0.0
+        self.finish_at = _INF
 
 
 _CLASS_ORDER = attrgetter("order")
@@ -209,6 +253,9 @@ class NetworkConfig:
     # False forces full water-filling over every class at each flow
     # event — the reference the incremental allocator is tested against.
     incremental: bool = True
+    # "stepped" or "analytic" — see the module docstring.  Sharded runs
+    # require "analytic" (cadence-independent byte trajectories).
+    progress: str = "stepped"
     extra: dict = field(default_factory=dict)
 
 
@@ -218,6 +265,12 @@ class Network:
     def __init__(self, env: Environment, config: Optional[NetworkConfig] = None):
         self.env = env
         self.config = config or NetworkConfig()
+        if self.config.progress not in ("stepped", "analytic"):
+            raise SimulationError(
+                f"unknown progress mode {self.config.progress!r} "
+                "(expected 'stepped' or 'analytic')"
+            )
+        self._analytic = self.config.progress == "analytic"
         self._nics: dict[str, NIC] = {}
         # dict-as-ordered-set: iteration order (and with it the fair-share
         # float accumulation order) is start-order of the flows, identical
@@ -243,6 +296,12 @@ class Network:
         self.nonlocal_bytes = 0.0
         self.message_count = 0
         self.flow_count = 0
+        # Completed transfers whose destination NIC is a remote proxy:
+        # the shard coordinator drains these at each barrier and applies
+        # them on the owning shard via ingest_remote().
+        self.cross_outbox: list[TransferRecord] = []
+        self.remote_ingest_count = 0
+        self.remote_ingest_bytes = 0.0
         self.spans = NULL_SPANS
 
     # -- topology ------------------------------------------------------
@@ -253,6 +312,33 @@ class Network:
         nic = NIC(name, bandwidth)
         self._nics[name] = nic
         return nic
+
+    def attach_remote(self, name: str, bandwidth: float) -> NIC:
+        """Register a proxy NIC for a node simulated in another shard.
+
+        Transfers into it run the normal fluid model against the proxy's
+        ingress capacity (i.e. the source shard sees its own contention
+        for the remote NIC, but not other shards'), and completion
+        records are exported via :attr:`cross_outbox`.
+        """
+        if name in self._nics:
+            raise SimulationError(f"NIC {name!r} already attached")
+        nic = NIC(name, bandwidth, remote=True)
+        self._nics[name] = nic
+        return nic
+
+    def ingest_remote(self, record: TransferRecord) -> None:
+        """Apply the accounting of a transfer simulated in another shard.
+
+        Only the destination-side ingress byte counter is touched — the
+        owning (source) shard already accounted the transfer in its own
+        totals, records, and pair counters, so merged metrics count each
+        transfer exactly once.
+        """
+        nic = self._nics[record.dst]
+        nic.ingress.bytes_carried += record.size
+        self.remote_ingest_count += 1
+        self.remote_ingest_bytes += record.size
 
     def nic(self, name: str) -> NIC:
         return self._nics[name]
@@ -287,7 +373,8 @@ class Network:
                 done, duration, src, dst, size, started, "message", tag
             )
             return done
-        self._advance()
+        if not self._analytic:
+            self._advance()
         flow = Flow(next(self._flow_ids), src, dst, size, done, started, tag)
         self._flows[flow] = None
         links = flow.links
@@ -300,13 +387,23 @@ class Network:
             else:
                 fclass = _FlowClass(links)
             fclass.order = flow.flow_id
+            if self._analytic:
+                fclass.since = started
+                fclass.finish_at = _INF
             self._classes[links] = fclass
             for link in links:
                 link.classes[fclass] = None
+        elif self._analytic:
+            # Existing members advance at the pre-arrival rate before the
+            # newcomer joins; the rebalance below re-settles with dt=0.
+            self._settle_class(fclass, started)
         fclass.flows[flow] = None
         flow.fclass = fclass
         self.flow_count += 1
-        self._rebalance(links)
+        if self._analytic:
+            self._rebalance_analytic(links)
+        else:
+            self._rebalance(links)
         return done
 
     def message(self, src: NIC, dst: NIC, size: float = 1 * KB, tag: str = "") -> Event:
@@ -378,9 +475,21 @@ class Network:
                 tag=tag,
                 slowdown=round(actual / ideal, 4) if ideal > 0 else 1.0,
             )
+        record: Optional[TransferRecord] = None
         if self.config.record_transfers and len(self.records) < self.config.record_limit:
-            self.records.append(
-                TransferRecord(
+            record = TransferRecord(
+                src=src.name,
+                dst=dst.name,
+                size=size,
+                started_at=started,
+                finished_at=self.env.now,
+                kind=kind,
+                tag=tag,
+            )
+            self.records.append(record)
+        if dst.remote:
+            if record is None:
+                record = TransferRecord(
                     src=src.name,
                     dst=dst.name,
                     size=size,
@@ -389,7 +498,7 @@ class Network:
                     kind=kind,
                     tag=tag,
                 )
-            )
+            self.cross_outbox.append(record)
 
     def set_nic_bandwidth(self, nic: NIC, bandwidth: float) -> None:
         """Reconfigure a NIC mid-run; active flows re-share immediately.
@@ -399,6 +508,10 @@ class Network:
         re-runs water-filling over the affected component, which is what
         a transient degradation window needs.
         """
+        if self._analytic:
+            nic.set_bandwidth(bandwidth)
+            self._rebalance_analytic((nic.egress, nic.ingress))
+            return
         self._advance()
         nic.set_bandwidth(bandwidth)
         self._rebalance((nic.egress, nic.ingress))
@@ -484,6 +597,10 @@ class Network:
             # incremental mode is built on).
             component = list(classes.values())
             from_bfs = False
+        self._allocate_over(component, from_bfs)
+
+    def _allocate_over(self, component: list[_FlowClass], from_bfs: bool) -> None:
+        """Water-fill over an already-discovered set of classes."""
         if not component:
             return
         if len(component) == 1:
@@ -635,6 +752,15 @@ class Network:
         self._timer = None
         self._advance()
         finished = [f for f in self._flows if f.remaining <= f.finish_eps]
+        changed = self._retire_finished(finished)
+        self._rebalance(changed)
+
+    def _retire_finished(self, finished: list[Flow]) -> Iterable[_Link]:
+        """Remove completed flows, record them, fire their tail timers.
+
+        Returns the links whose components need rebalancing.  Shared by
+        the stepped and analytic completion paths.
+        """
         for flow in finished:
             self._flows.pop(flow, None)
             fclass = flow.fclass
@@ -664,14 +790,109 @@ class Network:
             tail = self.env.timeout(self.config.latency)
             tail.callbacks.append(lambda _, d=done: d.succeed())
         if len(finished) == 1:
-            changed: Iterable[_Link] = finished[0].links
+            return finished[0].links
+        touched: dict[_Link, None] = {}
+        for flow in finished:
+            for link in flow.links:
+                touched[link] = None
+        return tuple(touched)
+
+    # -- analytic progress mode ------------------------------------------
+    def _settle_class(self, fclass: _FlowClass, now: float) -> None:
+        """Advance one class's members to ``now`` at the current rate.
+
+        Also refreshes the class's cached min-remaining / max-eps, which
+        must track membership changes even when no time has passed.
+        Every float here depends only on the class's own event history,
+        never on when *other* components happened to have events — that
+        is the property that makes sharded runs bit-identical.
+        """
+        dt = now - fclass.since
+        rate = fclass.rate
+        least = _INF
+        eps_max = 0.0
+        if dt > 0.0 and rate > 0.0:
+            shift = rate * dt
+            for flow in fclass.flows:
+                left = flow.remaining - shift
+                if left <= 0.0:
+                    left = 0.0
+                flow.remaining = left
+                if left < least:
+                    least = left
+                if flow.finish_eps > eps_max:
+                    eps_max = flow.finish_eps
         else:
-            touched: dict[_Link, None] = {}
-            for flow in finished:
-                for link in flow.links:
-                    touched[link] = None
-            changed = tuple(touched)
-        self._rebalance(changed)
+            for flow in fclass.flows:
+                if flow.remaining < least:
+                    least = flow.remaining
+                if flow.finish_eps > eps_max:
+                    eps_max = flow.finish_eps
+        fclass.since = now
+        fclass.least = least
+        fclass.eps_max = eps_max
+
+    def _rebalance_analytic(self, changed: Iterable[_Link]) -> None:
+        """Settle + water-fill the affected component, re-arm the timer.
+
+        Unlike the stepped path this always uses exact component
+        discovery (never the whole-registry shortcut): settling a class
+        at another component's event time would re-partition its float
+        subtractions and break shard/single equivalence.
+        """
+        component = self._component(changed)
+        if component:
+            now = self.env.now
+            for fclass in component:
+                self._settle_class(fclass, now)
+            self._allocate_over(component, True)
+            for fclass in component:
+                rate = fclass.rate
+                if rate > _EPS:
+                    fclass.finish_at = now + fclass.least / rate
+                else:
+                    fclass.finish_at = _INF
+        self._arm_timer_analytic()
+
+    def _arm_timer_analytic(self) -> None:
+        """Re-arm the completion wake-up at the earliest ``finish_at``.
+
+        The timer is scheduled at an *absolute* time, so the fire time
+        does not depend on which intermediate events this particular
+        simulation happened to process (``now + delay`` would).
+        """
+        timer = self._timer
+        if timer is not None:
+            timer.cancel()
+            self._timer = None
+        soonest = _INF
+        for fclass in self._classes.values():
+            if fclass.finish_at < soonest:
+                soonest = fclass.finish_at
+        if soonest == _INF:
+            return
+        now = self.env.now
+        timer = self.env.schedule_at(soonest if soonest > now else now)
+        timer.callbacks.append(self._on_timer_analytic)
+        self._timer = timer
+
+    def _on_timer_analytic(self, _: Event) -> None:
+        self._timer = None
+        now = self.env.now
+        finished: list[Flow] = []
+        for fclass in self._classes.values():
+            rate = fclass.rate
+            if rate <= _EPS:
+                continue
+            # Projected min-remaining at ``now``; anything within the
+            # class's eps band has (or is about to have) completed.
+            if fclass.least - rate * (now - fclass.since) <= fclass.eps_max:
+                self._settle_class(fclass, now)
+                for flow in fclass.flows:
+                    if flow.remaining <= flow.finish_eps:
+                        finished.append(flow)
+        changed = self._retire_finished(finished)
+        self._rebalance_analytic(changed)
 
     # -- introspection -----------------------------------------------------
     @property
