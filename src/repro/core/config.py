@@ -84,6 +84,10 @@ class EngineConfig:
     service_time_jitter: float = 0.0
     jitter_seed: int = 71
 
+    # Tenant owning the invocations this engine serves; a telemetry /
+    # SLO label only — no scheduling behavior depends on it.
+    tenant: str = "default"
+
     def __post_init__(self) -> None:
         for attr in (
             "master_process_time",

@@ -110,6 +110,21 @@ class DataPolicy:
                 local=local,
             )
         )
+        telemetry = self.cluster.telemetry
+        if telemetry.enabled:
+            locality = "local" if local else "remote"
+            telemetry.inc(
+                "data.bytes", size,
+                workflow=dag.name, node=node, phase=phase, local=locality,
+            )
+            telemetry.inc(
+                "data.ops", 1.0,
+                workflow=dag.name, node=node, phase=phase, local=locality,
+            )
+            telemetry.observe(
+                "data.seconds", duration,
+                workflow=dag.name, node=node, phase=phase, local=locality,
+            )
         spans = self.cluster.spans
         if spans.enabled:
             # The acting function (producer for puts, consumer for
@@ -310,6 +325,11 @@ class FaaStorePolicy(DataPolicy):
 
     def _spill(self, dag, invocation_id, function, node, size, phase) -> None:
         """Note a quota overflow: the local store refused the object."""
+        if self.cluster.telemetry.enabled:
+            self.cluster.telemetry.inc(
+                "data.spills", 1.0,
+                workflow=dag.name, node=node.name, phase=phase,
+            )
         spans = self.cluster.spans
         if spans.enabled:
             spans.event(

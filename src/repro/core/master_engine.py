@@ -23,6 +23,7 @@ from ..metrics import (
     MetricsCollector,
 )
 from ..obs.spans import SpanKind
+from ..obs.telemetry import record_invocation_metrics
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, RemoteStorePolicy
@@ -87,6 +88,7 @@ class HyperFlowServerlessSystem:
         self.config = config or EngineConfig()
         self.tracer = tracer
         self.spans = cluster.spans
+        self.telemetry = cluster.telemetry
         self.metrics = metrics if metrics is not None else MetricsCollector()
         if self.spans.enabled:
             self.metrics.spans = self.spans
@@ -194,6 +196,10 @@ class HyperFlowServerlessSystem:
         self.registry.release_invocation(invocation_id)
         self.policy.cleanup_invocation(dag, invocation_id)
         self.metrics.record_invocation(record)
+        if self.telemetry.enabled:
+            record_invocation_metrics(
+                self.telemetry, record, self.config.tenant, self.mode
+            )
         self.trace(
             Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
         )

@@ -22,6 +22,7 @@ from ..metrics import (
     MetricsCollector,
 )
 from ..obs.spans import SpanKind
+from ..obs.telemetry import record_invocation_metrics
 from ..sim import Cluster, Node, Resource
 from .config import EngineConfig
 from .faastore import DataPolicy, FaaStorePolicy
@@ -481,6 +482,7 @@ class FaaSFlowSystem:
         self.config = config or EngineConfig()
         self.tracer = tracer
         self.spans = cluster.spans
+        self.telemetry = cluster.telemetry
         self.metrics = metrics if metrics is not None else MetricsCollector()
         if self.spans.enabled:
             self.metrics.spans = self.spans
@@ -680,6 +682,10 @@ class FaaSFlowSystem:
         self.registry.release_invocation(invocation_id)
         self.policy.cleanup_invocation(dag, invocation_id)
         self.metrics.record_invocation(record)
+        if self.telemetry.enabled:
+            record_invocation_metrics(
+                self.telemetry, record, self.config.tenant, self.mode
+            )
         self.trace(
             Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
         )

@@ -129,13 +129,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SEC",
         help="resource-sampler cadence in simulated seconds (default 0.25)",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        default=None,
+        help="collect a streaming metrics snapshot for every cluster the "
+        "experiments build (and for fig_scale's network cells, sharded "
+        "or not) and write *-telemetry.json files to DIR",
+    )
     args = parser.parse_args(argv)
     collector = None
-    if args.trace_out:
+    if args.trace_out or args.telemetry_out:
         from ..obs.context import TraceCollector, activate
 
         collector = TraceCollector(
-            args.trace_out, sample_interval=args.sample_interval
+            args.trace_out or args.telemetry_out,
+            sample_interval=args.sample_interval,
+            spans=bool(args.trace_out),
+            telemetry=bool(args.telemetry_out),
+            telemetry_directory=args.telemetry_out,
         )
         activate(collector)
     markdown_sections = []
@@ -156,6 +168,11 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["jobs"] = args.jobs
         if args.shards != 1 and "shards" in parameters:
             kwargs["shards"] = args.shards
+        if args.telemetry_out and "telemetry_out" in parameters:
+            # Experiments that build their own sharded/network cells
+            # (fig_scale) write their snapshots directly; the ambient
+            # collector covers everything built through make_cluster.
+            kwargs["telemetry_out"] = args.telemetry_out
         result = runner(**kwargs)
         print(result.format())
         if args.chart:
@@ -186,8 +203,9 @@ def main(argv: list[str] | None = None) -> int:
 
         paths = collector.flush()
         deactivate()
+        where = args.trace_out or args.telemetry_out
         print(
-            f"trace bundles: {len(paths)} files in {args.trace_out} "
+            f"trace bundles: {len(paths)} files in {where} "
             f"(inspect with faasflow-trace)"
         )
     return 0

@@ -88,6 +88,7 @@ def drive_network(
     hotspot_fraction: float = 0.3,
     bandwidth: float = 100 * MB,
     collect_records: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """Run one sweep cell against ``network_module`` and time it.
 
@@ -103,6 +104,12 @@ def drive_network(
 
     env = Environment()
     net = network_module.Network(env, network_module.NetworkConfig())
+    registry = None
+    if telemetry:
+        from ..obs.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry(clock=lambda: env.now)
+        net.telemetry = registry
     nics = [net.attach(f"n{i}", bandwidth) for i in range(nodes)]
 
     def starter(env):
@@ -128,6 +135,8 @@ def drive_network(
             (r.src, r.dst, r.size, r.started_at, r.finished_at, r.kind, r.tag)
             for r in net.records
         ]
+    if registry is not None:
+        out["telemetry"] = registry.snapshot()
     return out
 
 
@@ -142,6 +151,7 @@ def drive_network_sharded(
     processes: bool = True,
     strict: bool = True,
     collect_records: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """Run one sweep cell on ``shards`` conservatively-synchronized shards.
 
@@ -174,6 +184,7 @@ def drive_network_sharded(
         group_size=group_size,
         processes=processes,
         strict=strict,
+        telemetry=telemetry,
     )
     wall = time.perf_counter() - start
     events = 2 * flows
@@ -191,15 +202,17 @@ def drive_network_sharded(
     }
     if collect_records:
         out["records"] = result["records"]
+    if telemetry:
+        out["telemetry"] = result["telemetry"]
     return out
 
 
 def _cell(task: tuple) -> dict:
     """One sweep cell against the live network model (pool-shippable)."""
-    nodes, flows, seed = task
+    nodes, flows, seed, telemetry = task
     from ..sim import network as live
 
-    return drive_network(live, nodes, flows, seed=seed)
+    return drive_network(live, nodes, flows, seed=seed, telemetry=telemetry)
 
 
 def run(
@@ -208,6 +221,7 @@ def run(
     seed: int = 11,
     jobs: int = 1,
     shards: int = 1,
+    telemetry_out: str | None = None,
 ) -> ExperimentResult:
     cells = [
         (n, f, seed + index)
@@ -215,14 +229,38 @@ def run(
             (n, f) for n in nodes for f in flows
         )
     ]
+    telemetry = telemetry_out is not None
     if shards > 1:
         # Shard workers provide the parallelism inside each cell, so the
-        # cells themselves run serially regardless of --jobs.
+        # cells themselves run serially regardless of --jobs.  With
+        # telemetry on, each shard collects its own registry and the
+        # snapshots merge at drain (value-identical to shards=1).
         results = [
-            drive_network_sharded(n, f, shards, seed=s) for n, f, s in cells
+            drive_network_sharded(n, f, shards, seed=s, telemetry=telemetry)
+            for n, f, s in cells
         ]
     else:
-        results = ParallelRunner(jobs).map(_cell, cells)
+        results = ParallelRunner(jobs).map(
+            _cell, [(n, f, s, telemetry) for n, f, s in cells]
+        )
+    if telemetry_out is not None:
+        from pathlib import Path
+
+        from ..obs.telemetry import write_telemetry_json
+
+        directory = Path(telemetry_out)
+        directory.mkdir(parents=True, exist_ok=True)
+        for stats in results:
+            snapshot = stats.pop("telemetry", None)
+            if snapshot is not None:
+                write_telemetry_json(
+                    directory
+                    / (
+                        f"fig_scale-n{stats['nodes']}-f{stats['flows']}"
+                        f"-telemetry.json"
+                    ),
+                    snapshot,
+                )
     rows = []
     for stats in results:
         row = [

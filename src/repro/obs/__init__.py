@@ -10,6 +10,14 @@ inspected with the ``faasflow-trace`` CLI.
 
 Tracing is opt-in and zero-cost when disabled: producers hold the
 :data:`NULL_SPANS` singleton whose methods are no-ops.
+
+Streaming telemetry (:mod:`repro.obs.telemetry`) is the constant-memory
+counterpart: a :class:`MetricsRegistry` of counters, gauges, and
+log-bucketed mergeable histograms keyed by labeled dimensions, windowed
+on simulated time, with the same zero-cost-off guarantee
+(:data:`NULL_TELEMETRY`) and a deterministic merge so sharded runs
+aggregate value-identically to single-process runs.  SLO targets are
+evaluated over snapshots with :class:`SLOTracker`.
 """
 
 from .export import (
@@ -26,6 +34,12 @@ from .sampler import (
     read_samples_csv,
     write_samples_csv,
 )
+from .slo import (
+    SLOReport,
+    SLOTarget,
+    SLOTracker,
+    load_targets,
+)
 from .spans import (
     BREAKDOWN_COMPONENTS,
     NULL_SPANS,
@@ -38,11 +52,32 @@ from .spans import (
     format_span_tree,
     span_tree,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+    read_telemetry_json,
+    validate_snapshot,
+    write_telemetry_json,
+)
 
 __all__ = [
     "BREAKDOWN_COMPONENTS",
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
     "NULL_SPANS",
+    "NULL_TELEMETRY",
+    "NullRegistry",
     "NullSpanTracer",
+    "SLOReport",
+    "SLOTarget",
+    "SLOTracker",
     "ResourceSampler",
     "Sample",
     "Span",
@@ -53,11 +88,16 @@ __all__ = [
     "decompose",
     "export_trace",
     "format_span_tree",
+    "load_targets",
+    "merge_snapshots",
     "read_samples_csv",
     "read_spans_jsonl",
+    "read_telemetry_json",
     "span_tree",
     "validate_chrome_trace",
+    "validate_snapshot",
     "write_chrome_trace",
     "write_samples_csv",
     "write_spans_jsonl",
+    "write_telemetry_json",
 ]

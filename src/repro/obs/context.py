@@ -23,6 +23,7 @@ from typing import Optional, Union
 from .export import export_trace
 from .sampler import ResourceSampler
 from .spans import SpanTracer
+from .telemetry import MetricsRegistry
 
 __all__ = ["TraceCollector", "activate", "deactivate", "active_collector"]
 
@@ -30,44 +31,74 @@ _active: Optional["TraceCollector"] = None
 
 
 class TraceCollector:
-    """Accumulates (tracer, sampler, cluster) triples for later export."""
+    """Accumulates per-run tracers/samplers/registries for later export."""
 
     def __init__(
         self,
         directory: Union[str, Path],
         sample_interval: float = 0.25,
         span_limit: int = 1_000_000,
+        spans: bool = True,
+        telemetry: bool = False,
+        telemetry_directory: Union[str, Path, None] = None,
     ):
         self.directory = Path(directory)
         self.sample_interval = sample_interval
         self.span_limit = span_limit
+        self.spans = spans
+        self.telemetry = telemetry
+        self.telemetry_directory = (
+            Path(telemetry_directory)
+            if telemetry_directory is not None
+            else self.directory
+        )
         self.label = "run"
-        self._runs: list[tuple[str, SpanTracer, ResourceSampler]] = []
+        self._runs: list[tuple] = []
 
     def set_label(self, label: str) -> None:
         """Name the bundles of subsequently instrumented clusters."""
         self.label = label
 
-    def instrument(self, cluster) -> SpanTracer:
-        """Attach a fresh tracer + sampler to a newly built cluster."""
-        tracer = SpanTracer(cluster.env, limit=self.span_limit)
-        cluster.install_spans(tracer)
-        sampler = ResourceSampler(cluster, interval=self.sample_interval)
-        sampler.start()
-        self._runs.append((self.label, tracer, sampler))
+    def instrument(self, cluster) -> Optional[SpanTracer]:
+        """Attach fresh instruments to a newly built cluster."""
+        tracer = None
+        sampler = None
+        if self.spans:
+            tracer = SpanTracer(cluster.env, limit=self.span_limit)
+            cluster.install_spans(tracer)
+            sampler = ResourceSampler(cluster, interval=self.sample_interval)
+            sampler.start()
+        registry = None
+        if self.telemetry:
+            env = cluster.env
+            registry = MetricsRegistry(clock=lambda: env.now)
+            cluster.install_telemetry(registry)
+        self._runs.append((self.label, tracer, sampler, registry))
         return tracer
 
     def flush(self) -> list[Path]:
         """Write one bundle per instrumented run; returns all paths."""
+        from .telemetry import write_telemetry_json
+
         paths: list[Path] = []
         counters: dict[str, int] = {}
-        for label, tracer, sampler in self._runs:
+        for label, tracer, sampler, registry in self._runs:
             counters[label] = counters.get(label, 0) + 1
             prefix = f"{label}-{counters[label]:03d}"
-            bundle = export_trace(
-                self.directory, tracer, sampler=sampler, prefix=prefix
-            )
-            paths.extend(bundle.values())
+            if tracer is not None:
+                bundle = export_trace(
+                    self.directory, tracer, sampler=sampler, prefix=prefix
+                )
+                paths.extend(bundle.values())
+            if registry is not None:
+                self.telemetry_directory.mkdir(parents=True, exist_ok=True)
+                paths.append(
+                    write_telemetry_json(
+                        self.telemetry_directory
+                        / f"{prefix}-telemetry.json",
+                        registry,
+                    )
+                )
         self._runs.clear()
         return paths
 

@@ -336,12 +336,15 @@ def export_trace(
     sampler: Optional[ResourceSampler] = None,
     metrics=None,
     prefix: str = "run",
+    telemetry=None,
 ) -> dict[str, Path]:
     """Write one run's full trace bundle into ``directory``.
 
     Produces ``<prefix>-spans.jsonl`` and ``<prefix>-trace.json``
-    (Perfetto), plus ``<prefix>-samples.csv`` when a sampler is given
-    and the standard metrics CSVs when a collector is given.
+    (Perfetto), plus ``<prefix>-samples.csv`` when a sampler is given,
+    the standard metrics CSVs when a collector is given, and
+    ``<prefix>-telemetry.json`` when a metrics registry (or snapshot
+    dict) is given.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -365,4 +368,10 @@ def export_trace(
         from ..metrics.export import export_metrics
 
         paths.update(export_metrics(metrics, directory, prefix=prefix))
+    if telemetry is not None:
+        from .telemetry import write_telemetry_json
+
+        paths["telemetry"] = write_telemetry_json(
+            directory / f"{prefix}-telemetry.json", telemetry
+        )
     return paths

@@ -10,11 +10,16 @@ of allocated flow rates over the link bandwidth.
 One :class:`Sample` row per node per tick; the initial snapshot is
 taken at :meth:`ResourceSampler.start` time, so a sampling interval
 longer than the whole run still yields one sample per node.
+
+Storage is a bounded drop-oldest ring (``max_samples``, matching the
+SpanTracer ring discipline): once full, the oldest tick's rows fall off
+and ``dropped`` counts what was lost.
 """
 
 from __future__ import annotations
 
 import csv
+from collections import deque
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Union
@@ -61,13 +66,19 @@ def _link_util(link) -> float:
 class ResourceSampler:
     """Snapshots a cluster's nodes every ``interval`` simulated seconds."""
 
-    def __init__(self, cluster, interval: float = 0.25):
+    def __init__(
+        self, cluster, interval: float = 0.25, max_samples: int = 1_000_000
+    ):
         if interval <= 0:
             raise ValueError("interval must be > 0")
+        if max_samples <= 0:
+            raise ValueError("max_samples must be > 0")
         self.cluster = cluster
         self.env = cluster.env
         self.interval = float(interval)
-        self.samples: list[Sample] = []
+        self.max_samples = int(max_samples)
+        self.samples: deque[Sample] = deque(maxlen=self.max_samples)
+        self.dropped = 0
         self._started = False
 
     def start(self) -> None:
@@ -91,6 +102,8 @@ class ResourceSampler:
         now = self.env.now
         for node in self._nodes():
             nic = node.nic
+            if len(self.samples) == self.max_samples:
+                self.dropped += 1
             self.samples.append(
                 Sample(
                     time=now,

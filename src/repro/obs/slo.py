@@ -1,0 +1,234 @@
+"""SLO tracking over telemetry snapshots.
+
+An :class:`SLOTarget` states what a (tenant, workflow) pair is owed:
+a latency target at a given objective percentile ("p95 under 2.0s")
+and an error budget ("at most 1% of invocations may fail or miss the
+latency target").  :class:`SLOTracker` evaluates targets against the
+``workflow.latency`` histograms and status-labeled
+``workflow.invocations`` counters that both engines emit, producing
+per-pair :class:`SLOReport` rows:
+
+- **attainment** — fraction of invocations at or under the latency
+  target, read from histogram bucket mass (deterministic, conservative
+  within one bucket's width; see ``LogHistogram.fraction_below``).
+- **error rate** — non-OK invocations over total, exact from counters.
+- **burn rate** — combined miss rate (latency misses + errors) over
+  the allowed miss rate implied by the objective and error budget.
+  1.0 means the budget is being consumed exactly as provisioned;
+  above 1.0 the pair is burning budget faster than it can afford.
+
+Targets apply per (tenant, workflow); a target with ``tenant=None`` or
+``workflow=None`` acts as a wildcard default for pairs without a more
+specific target.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from .telemetry import LogHistogram, find_metrics
+
+__all__ = ["SLOTarget", "SLOReport", "SLOTracker", "load_targets"]
+
+PathLike = Union[str, Path]
+
+OK_STATUS = "ok"
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Latency + error-rate objective for a (tenant, workflow) pair."""
+
+    latency_target: float
+    objective: float = 95.0  # percent of invocations that must attain
+    error_budget: float = 0.01  # allowed fraction of failed invocations
+    tenant: Optional[str] = None  # None = wildcard
+    workflow: Optional[str] = None  # None = wildcard
+
+    def __post_init__(self):
+        if self.latency_target <= 0:
+            raise ValueError(
+                f"latency_target must be > 0, got {self.latency_target}"
+            )
+        if not 0 < self.objective <= 100:
+            raise ValueError(
+                f"objective must be in (0, 100], got {self.objective}"
+            )
+        if not 0 <= self.error_budget < 1:
+            raise ValueError(
+                f"error_budget must be in [0, 1), got {self.error_budget}"
+            )
+
+    def specificity(self) -> int:
+        return (self.tenant is not None) + (self.workflow is not None)
+
+    def matches(self, tenant: str, workflow: str) -> bool:
+        return (self.tenant is None or self.tenant == tenant) and (
+            self.workflow is None or self.workflow == workflow
+        )
+
+    @property
+    def allowed_miss_rate(self) -> float:
+        """Total miss budget: latency slack plus the error budget."""
+        return (100.0 - self.objective) / 100.0 + self.error_budget
+
+
+@dataclass
+class SLOReport:
+    """Evaluated SLO state for one (tenant, workflow) pair."""
+
+    tenant: str
+    workflow: str
+    target: SLOTarget
+    invocations: int
+    errors: int
+    attainment: float  # fraction of invocations meeting latency target
+    p50: float
+    p99: float
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.invocations if self.invocations else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Combined miss fraction: latency misses plus errors.
+
+        Errors are excluded from the latency histogram's attainment
+        denominator only if the engine skipped recording them — both
+        engines record every invocation's latency, so a failed slow
+        invocation counts once here (whichever clause catches it
+        first: the latency miss already includes it).
+        """
+        latency_misses = (1.0 - self.attainment) * self.invocations
+        misses = max(latency_misses, float(self.errors))
+        return misses / self.invocations if self.invocations else 0.0
+
+    @property
+    def burn_rate(self) -> float:
+        allowed = self.target.allowed_miss_rate
+        if allowed <= 0:
+            return 0.0 if self.miss_rate == 0 else float("inf")
+        return self.miss_rate / allowed
+
+    @property
+    def met(self) -> bool:
+        return self.burn_rate <= 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "workflow": self.workflow,
+            "latency_target": self.target.latency_target,
+            "objective": self.target.objective,
+            "error_budget": self.target.error_budget,
+            "invocations": self.invocations,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "attainment": self.attainment,
+            "miss_rate": self.miss_rate,
+            "burn_rate": self.burn_rate,
+            "met": self.met,
+            "p50": self.p50,
+            "p99": self.p99,
+        }
+
+
+class SLOTracker:
+    """Evaluate SLO targets against a telemetry snapshot."""
+
+    def __init__(self, targets: Iterable[SLOTarget] = ()):
+        self.targets: list[SLOTarget] = list(targets)
+
+    def add_target(self, target: SLOTarget) -> None:
+        self.targets.append(target)
+
+    def target_for(self, tenant: str, workflow: str) -> Optional[SLOTarget]:
+        """Most specific matching target (exact pair beats wildcard)."""
+        best: Optional[SLOTarget] = None
+        for target in self.targets:
+            if not target.matches(tenant, workflow):
+                continue
+            if best is None or target.specificity() > best.specificity():
+                best = target
+        return best
+
+    @staticmethod
+    def pairs(snapshot: dict) -> list[tuple[str, str]]:
+        """Distinct (tenant, workflow) pairs with latency data."""
+        seen = []
+        for entry in find_metrics(snapshot, "workflow.latency"):
+            labels = entry["labels"]
+            pair = (labels.get("tenant", "default"), labels.get("workflow", ""))
+            if pair not in seen:
+                seen.append(pair)
+        return sorted(seen)
+
+    def evaluate(self, snapshot: dict) -> list[SLOReport]:
+        """One report per (tenant, workflow) pair that has a target."""
+        reports = []
+        for tenant, workflow in self.pairs(snapshot):
+            target = self.target_for(tenant, workflow)
+            if target is None:
+                continue
+            # Latency histograms may split further (e.g. by engine);
+            # merge every matching entry for the pair.
+            hist = LogHistogram()
+            for entry in find_metrics(
+                snapshot, "workflow.latency", tenant=tenant, workflow=workflow
+            ):
+                hist.merge(LogHistogram.from_dict(entry))
+            invocations = 0
+            errors = 0
+            for entry in find_metrics(
+                snapshot,
+                "workflow.invocations",
+                tenant=tenant,
+                workflow=workflow,
+            ):
+                count = int(entry["total"])
+                invocations += count
+                if entry["labels"].get("status", OK_STATUS) != OK_STATUS:
+                    errors += count
+            if invocations == 0:
+                invocations = hist.count
+            reports.append(
+                SLOReport(
+                    tenant=tenant,
+                    workflow=workflow,
+                    target=target,
+                    invocations=invocations,
+                    errors=errors,
+                    attainment=hist.fraction_below(target.latency_target),
+                    p50=hist.quantile(50) if hist.count else 0.0,
+                    p99=hist.quantile(99) if hist.count else 0.0,
+                )
+            )
+        return reports
+
+
+def load_targets(path: PathLike) -> list[SLOTarget]:
+    """Read SLO targets from a JSON file.
+
+    The file is either a list of target objects or ``{"targets":
+    [...]}``; each object takes the :class:`SLOTarget` field names,
+    with ``tenant``/``workflow`` optional (omitted = wildcard).
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = data.get("targets", [])
+    targets = []
+    for entry in data:
+        targets.append(
+            SLOTarget(
+                latency_target=entry["latency_target"],
+                objective=entry.get("objective", 95.0),
+                error_budget=entry.get("error_budget", 0.01),
+                tenant=entry.get("tenant"),
+                workflow=entry.get("workflow"),
+            )
+        )
+    return targets

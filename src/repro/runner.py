@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 
 from .clients import run_closed_loop, run_open_loop
+from .metrics import percentile
 from .core import (
     EngineConfig,
     FaaSFlowSystem,
@@ -75,12 +76,22 @@ def run_workflow(
     seed: int = 13,
     trace_out: str | Path | None = None,
     sample_interval: float = 0.25,
+    telemetry_out: str | Path | None = None,
+    collect_telemetry: bool = False,
+    tenant: str = "default",
 ) -> RunSummary:
     """Run ``dag`` and return a summary of what happened.
 
     ``trace_out`` turns on span tracing + resource sampling and writes
     the trace bundle (JSONL spans, Perfetto JSON, samples CSV, metrics
     CSVs) into that directory.
+
+    ``telemetry_out`` turns on the streaming metrics registry and
+    writes its snapshot as ``<workflow>-telemetry.json`` into that
+    directory (or to the path itself if it ends in ``.json``);
+    ``collect_telemetry`` collects the same snapshot without writing,
+    returning it as ``summary.telemetry`` — the form sharded trial
+    cells use, merged deterministically in cell order afterwards.
     """
     if engine not in ("worker", "master"):
         raise ValueError("engine must be 'worker' or 'master'")
@@ -100,13 +111,23 @@ def run_workflow(
         cluster.install_spans(span_tracer)
         sampler = ResourceSampler(cluster, interval=sample_interval)
         sampler.start()
+    registry = None
+    if collect_telemetry or telemetry_out is not None:
+        from .obs.telemetry import MetricsRegistry
+
+        # Same rule as spans: engines snapshot cluster.telemetry when
+        # they are built, so install before system construction.
+        registry = MetricsRegistry(clock=lambda: env.now)
+        cluster.install_telemetry(registry)
     tracer = Tracer() if trace else None
     faults = (
         FaultInjector(default_rate=fault_rate, seed=seed)
         if fault_rate > 0
         else None
     )
-    config = EngineConfig(ship_data=ship_data, max_retries=max_retries)
+    config = EngineConfig(
+        ship_data=ship_data, max_retries=max_retries, tenant=tenant
+    )
     if engine == "master":
         system = HyperFlowServerlessSystem(
             cluster, config, tracer=tracer, faults=faults
@@ -129,6 +150,10 @@ def run_workflow(
                 container_limits=scheduler.container_limits(dag),
             )
             system.metrics.clear()
+            if registry is not None:
+                # The feedback bootstrap is calibration, not load: drop
+                # its telemetry along with its collector records.
+                registry.clear()
     if prewarm:
         # Let the prewarmed containers finish booting before load starts.
         env.run(until=env.now + cluster.config.container.cold_start_time + 0.01)
@@ -145,8 +170,21 @@ def run_workflow(
 
         trace_paths = export_trace(
             trace_out, span_tracer, sampler=sampler, metrics=metrics,
-            prefix=dag.name,
+            prefix=dag.name, telemetry=registry,
         )
+    telemetry_snapshot = registry.snapshot() if registry is not None else None
+    telemetry_path = None
+    if telemetry_out is not None:
+        from .obs.telemetry import write_telemetry_json
+
+        out = Path(telemetry_out)
+        if out.suffix == ".json":
+            out.parent.mkdir(parents=True, exist_ok=True)
+            telemetry_path = out
+        else:
+            out.mkdir(parents=True, exist_ok=True)
+            telemetry_path = out / f"{dag.name}-telemetry.json"
+        write_telemetry_json(telemetry_path, telemetry_snapshot)
     latencies = sorted(r.latency for r in records)
     return RunSummary(
         workflow=dag.name,
@@ -156,7 +194,7 @@ def run_workflow(
         timeouts=len([r for r in records if r.status == "timeout"]),
         failures=len([r for r in records if r.status == "failed"]),
         mean_latency=sum(latencies) / len(latencies),
-        p50_latency=latencies[len(latencies) // 2],
+        p50_latency=percentile(latencies, 50),
         p99_latency=metrics.tail_latency(dag.name, q=99),
         mean_scheduling_overhead=(
             metrics.mean_scheduling_overhead(dag.name)
@@ -171,6 +209,8 @@ def run_workflow(
         tracer=tracer,
         spans=span_tracer,
         trace_paths=trace_paths,
+        telemetry=telemetry_snapshot,
+        telemetry_path=telemetry_path,
         system=system,
     )
 
@@ -199,7 +239,11 @@ def _trial_task(payload: tuple) -> dict:
     """Run one independent trial in a (possibly pooled) worker."""
     source, seed, kwargs = payload
     summary = run_workflow(_load_dag(source), seed=seed, **kwargs)
-    return {field: summary[field] for field in _SCALAR_FIELDS}
+    result = {field: summary[field] for field in _SCALAR_FIELDS}
+    if summary.get("telemetry") is not None:
+        # A snapshot is a plain dict: it survives the pool round-trip.
+        result["telemetry"] = summary["telemetry"]
+    return result
 
 
 def run_trials(
@@ -365,6 +409,17 @@ def main(argv: list[str] | None = None) -> int:
         "--sample-interval", type=float, default=0.25, metavar="SEC",
         help="resource-sampler cadence in simulated seconds (default 0.25)",
     )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="collect streaming metrics (counters/gauges/histograms on "
+        "simulated time) and write the snapshot to PATH (a directory, "
+        "or a .json file); with --trials the per-trial snapshots are "
+        "merged deterministically in trial order",
+    )
+    parser.add_argument(
+        "--tenant", default="default",
+        help="tenant label on telemetry and SLO reports (default 'default')",
+    )
     args = parser.parse_args(argv)
     try:
         dag = _load_dag(args.workflow)
@@ -382,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         feedback=not args.no_feedback,
         fault_rate=args.fault_rate,
         max_retries=args.max_retries,
+        tenant=args.tenant,
     )
     if args.trials > 1:
         if args.trace_out:
@@ -390,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
                 "(trials run in worker processes)",
                 file=sys.stderr,
             )
+        if args.telemetry_out:
+            run_kwargs["collect_telemetry"] = True
         summaries = run_trials(
             args.workflow,
             trials=args.trials,
@@ -399,6 +457,21 @@ def main(argv: list[str] | None = None) -> int:
             **run_kwargs,
         )
         print(_format_trials(summaries))
+        if args.telemetry_out:
+            from .obs.telemetry import merge_snapshots, write_telemetry_json
+
+            merged = merge_snapshots(
+                s["telemetry"] for s in summaries
+                if s.get("telemetry") is not None
+            )
+            out = Path(args.telemetry_out)
+            if out.suffix == ".json":
+                out.parent.mkdir(parents=True, exist_ok=True)
+            else:
+                out.mkdir(parents=True, exist_ok=True)
+                out = out / f"{args.workflow}-telemetry.json"
+            write_telemetry_json(out, merged)
+            print(f"telemetry snapshot: {out}")
         return 0
     if args.shards is not None:
         print(
@@ -412,6 +485,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         trace_out=args.trace_out,
         sample_interval=args.sample_interval,
+        telemetry_out=args.telemetry_out,
         **run_kwargs,
     )
     print(_format_summary(summary))
@@ -427,6 +501,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"\ntrace bundle: {summary.trace_paths['perfetto']} "
             f"(open in https://ui.perfetto.dev; inspect with faasflow-trace)"
+        )
+    if summary.telemetry_path:
+        print(
+            f"telemetry snapshot: {summary.telemetry_path} "
+            f"(inspect with faasflow-trace report / slo)"
         )
     return 0
 

@@ -60,6 +60,7 @@ from operator import attrgetter
 from typing import Iterable, Optional
 
 from ..obs.spans import NULL_SPANS, SpanKind
+from ..obs.telemetry import NULL_TELEMETRY
 from .kernel import Environment, Event, SimulationError, Timeout
 
 __all__ = ["NIC", "Network", "Flow", "TransferRecord", "MB", "KB"]
@@ -303,6 +304,7 @@ class Network:
         self.remote_ingest_count = 0
         self.remote_ingest_bytes = 0.0
         self.spans = NULL_SPANS
+        self.telemetry = NULL_TELEMETRY
 
     # -- topology ------------------------------------------------------
     def attach(self, name: str, bandwidth: float) -> NIC:
@@ -454,6 +456,14 @@ class Network:
             pair_bytes[pair] += size
         except KeyError:
             pair_bytes[pair] = size
+        if self.telemetry.enabled:
+            # Labeled by the owning source node so sharded telemetry
+            # merges as a disjoint union of label-sets: byte sizes are
+            # integer-valued, so these counters are exact and
+            # order-independent — merged sharded values equal the
+            # single-process run's bit for bit.
+            self.telemetry.inc("net.bytes", size, node=src.name, kind=kind)
+            self.telemetry.inc("net.transfers", 1.0, node=src.name, kind=kind)
         if self.spans.enabled:
             # Contention-induced slowdown: actual wire time over the
             # uncontended time the same bytes would have taken.

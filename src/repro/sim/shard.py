@@ -433,6 +433,16 @@ class _NetworkShardProgram:
         net_kwargs = dict(payload.get("net_kwargs") or {})
         net_kwargs["progress"] = "analytic"
         self.net = Network(env, NetworkConfig(**net_kwargs))
+        self.telemetry = None
+        if payload.get("telemetry"):
+            from ..obs.telemetry import MetricsRegistry
+
+            # One registry per shard: network metrics are labeled by the
+            # owning source node, so the per-shard label-sets are
+            # disjoint and the merged snapshot is value-identical to a
+            # single-process run's (ships at drain via result()).
+            self.telemetry = MetricsRegistry(clock=lambda: env.now)
+            self.net.telemetry = self.telemetry
         self.node_to_shard = payload["node_to_shard"]
         bandwidth = payload["bandwidth"]
         local = payload["local_nodes"]
@@ -496,6 +506,11 @@ class _NetworkShardProgram:
                 if not n.remote
             },
             "now": self.env.now,
+            "telemetry": (
+                self.telemetry.snapshot()
+                if self.telemetry is not None
+                else None
+            ),
         }
 
 
@@ -508,6 +523,7 @@ def run_network_single(
     node_names: Sequence[str],
     bandwidth: float = 100 * MB,
     net_kwargs: Optional[dict] = None,
+    telemetry: bool = False,
 ) -> dict:
     """Single-environment analytic reference for a shardable plan.
 
@@ -518,6 +534,12 @@ def run_network_single(
     kwargs = dict(net_kwargs or {})
     kwargs["progress"] = "analytic"
     net = Network(env, NetworkConfig(**kwargs))
+    registry = None
+    if telemetry:
+        from ..obs.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry(clock=lambda: env.now)
+        net.telemetry = registry
     for name in node_names:
         net.attach(name, bandwidth)
     nic = net.nic
@@ -547,6 +569,7 @@ def run_network_single(
         "cross_flows": 0,
         "divergence_risk": 0,
         "backend": "single",
+        "telemetry": registry.snapshot() if registry is not None else None,
     }
 
 
@@ -591,6 +614,7 @@ def run_network_sharded(
     processes: bool = True,
     strict: bool = False,
     net_kwargs: Optional[dict] = None,
+    telemetry: bool = False,
 ) -> dict:
     """Run a transfer plan across ``shards`` shard environments.
 
@@ -599,9 +623,15 @@ def run_network_sharded(
     :func:`run_network_single` — one environment, no coordinator, no
     worker processes.  ``strict=True`` raises if any flow crosses a
     shard boundary (the partition was supposed to be aligned).
+    ``telemetry=True`` collects a per-shard metrics registry, ships the
+    snapshots at drain, and merges them in shard order — value-identical
+    to the single-process snapshot because every network metric is
+    labeled by its owning source node.
     """
     if shards == 1:
-        return run_network_single(plan, node_names, bandwidth, net_kwargs)
+        return run_network_single(
+            plan, node_names, bandwidth, net_kwargs, telemetry=telemetry
+        )
     parts = partition_nodes(node_names, shards, group_size)
     node_to_shard = {
         name: index for index, part in enumerate(parts) for name in part
@@ -618,6 +648,7 @@ def run_network_sharded(
                 "bandwidth": bandwidth,
                 "node_to_shard": node_to_shard,
                 "net_kwargs": dict(net_kwargs or {}),
+                "telemetry": telemetry,
             }
         )
     coordinator = ShardCoordinator(
@@ -670,7 +701,18 @@ def run_network_sharded(
         ),
         "backend": outcome["backend"],
         "partition": [list(part) for part in parts],
+        "telemetry": _merged_shard_telemetry(outcome["results"]),
     }
+
+
+def _merged_shard_telemetry(results: Sequence[dict]) -> Optional[dict]:
+    """Merge per-shard telemetry snapshots in shard order."""
+    snapshots = [r.get("telemetry") for r in results]
+    if not any(s is not None for s in snapshots):
+        return None
+    from ..obs.telemetry import merge_snapshots
+
+    return merge_snapshots(s for s in snapshots if s is not None)
 
 
 # ---------------------------------------------------------------------------
@@ -762,6 +804,12 @@ def _run_workflow_cell(spec: dict) -> dict:
             for r in summary["records"]
         ],
     )
+    if summary.get("telemetry") is not None:
+        # One fresh registry per cell: cell runs are bit-identical for
+        # any shard count, so merging these snapshots in cell order
+        # replays the exact same float additions regardless of which
+        # worker ran which cell.
+        out["telemetry"] = summary["telemetry"]
     return out
 
 

@@ -91,3 +91,112 @@ class TestTraceCli:
     def test_empty_directory_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             trace_main([str(tmp_path)])
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    """One run with --telemetry-out, shared by the telemetry CLI tests."""
+    out = tmp_path_factory.mktemp("telemetryout")
+    dag = linear_dag(name="clitele", n=3)
+    summary = run_workflow(
+        dag, invocations=4, workers=3, telemetry_out=out, tenant="acme"
+    )
+    assert summary.telemetry_path is not None
+    return out
+
+
+class TestTelemetryOut:
+    def test_snapshot_file_written(self, telemetry_dir):
+        names = {p.name for p in telemetry_dir.iterdir()}
+        assert "clitele-telemetry.json" in names
+
+    def test_no_flag_no_telemetry(self):
+        summary = run_workflow(linear_dag(n=2), invocations=1, workers=3)
+        assert summary.telemetry is None
+        assert summary.telemetry_path is None
+
+
+class TestTelemetryValidate:
+    def test_directory(self, telemetry_dir, capsys):
+        assert trace_main([str(telemetry_dir), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "ok clitele" in out
+        assert "invariants hold" in out
+
+    def test_single_file(self, telemetry_dir, capsys):
+        path = telemetry_dir / "clitele-telemetry.json"
+        assert trace_main([str(path), "--validate"]) == 0
+        assert "invariants hold" in capsys.readouterr().out
+
+    def test_corrupt_snapshot_rejected(self, telemetry_dir, capsys):
+        path = telemetry_dir / "clitele-telemetry.json"
+        good = path.read_text()
+        snapshot = json.loads(good)
+        for metric in snapshot["metrics"]:
+            if metric["kind"] == "histogram":
+                metric["count"] += 1
+        try:
+            path.write_text(json.dumps(snapshot))
+            assert trace_main([str(path), "--validate"]) == 1
+            assert "INVALID" in capsys.readouterr().out
+        finally:
+            path.write_text(good)
+
+
+class TestReportSubcommand:
+    def test_report(self, telemetry_dir, capsys):
+        assert trace_main(["report", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "clitele" in out
+        assert "acme" in out  # tenant label survives to the rollup
+        assert "invocations" in out
+        assert "data plane" in out
+
+    def test_report_windows(self, telemetry_dir, capsys):
+        assert trace_main(["report", str(telemetry_dir), "--windows"]) == 0
+        assert "simulated-time invocation rate" in capsys.readouterr().out
+
+    def test_report_empty_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            trace_main(["report", str(tmp_path)])
+
+
+class TestSloSubcommand:
+    def test_inline_target_met(self, telemetry_dir, capsys):
+        assert (
+            trace_main(
+                ["slo", str(telemetry_dir), "--latency-target", "1e6"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clitele" in out and "OK" in out
+
+    def test_strict_burning_exits_nonzero(self, telemetry_dir, capsys):
+        assert (
+            trace_main(
+                [
+                    "slo", str(telemetry_dir),
+                    "--latency-target", "1e-9", "--strict",
+                ]
+            )
+            == 1
+        )
+        assert "BURNING" in capsys.readouterr().out
+
+    def test_targets_file(self, telemetry_dir, tmp_path, capsys):
+        targets = tmp_path / "targets.json"
+        targets.write_text(json.dumps([
+            {"latency_target": 1e6, "tenant": "acme"},
+        ]))
+        assert (
+            trace_main(
+                ["slo", str(telemetry_dir), "--targets", str(targets)]
+            )
+            == 0
+        )
+        assert "acme" in capsys.readouterr().out
+
+    def test_no_targets_errors(self, telemetry_dir):
+        with pytest.raises(SystemExit):
+            trace_main(["slo", str(telemetry_dir)])

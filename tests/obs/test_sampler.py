@@ -93,9 +93,51 @@ class TestCsvRoundTrip:
         count = write_samples_csv(sampler.samples, path)
         assert count == len(sampler.samples)
         loaded = read_samples_csv(path)
-        assert loaded == sampler.samples
+        assert loaded == list(sampler.samples)
 
     def test_empty_round_trip(self, tmp_path):
         path = tmp_path / "empty.csv"
         assert write_samples_csv([], path) == 0
         assert read_samples_csv(path) == []
+
+
+class TestBoundedRing:
+    """Satellite: samples live in a drop-oldest ring of ``max_samples``."""
+
+    def test_default_is_generous(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.25)
+        assert sampler.max_samples == 1_000_000
+        assert sampler.samples.maxlen == 1_000_000
+
+    def test_validation(self, env, cluster):
+        with pytest.raises(ValueError):
+            ResourceSampler(cluster, interval=0.25, max_samples=0)
+        with pytest.raises(ValueError):
+            ResourceSampler(cluster, interval=0.25, max_samples=-5)
+
+    def test_oldest_dropped_newest_kept(self, env, cluster):
+        # 4 nodes per tick, room for 2 ticks: older ticks fall out.
+        sampler = ResourceSampler(
+            cluster, interval=0.5, max_samples=2 * NODES
+        )
+        sampler.start()
+        env.run(until=2.1)  # ticks at 0, 0.5, 1.0, 1.5, 2.0
+        assert len(sampler.samples) == 2 * NODES
+        times = sorted({s.time for s in sampler.samples})
+        assert times == [1.5, 2.0]  # newest survive
+
+    def test_dropped_counter(self, env, cluster):
+        sampler = ResourceSampler(
+            cluster, interval=0.5, max_samples=2 * NODES
+        )
+        sampler.start()
+        env.run(until=2.1)
+        # 5 ticks x 4 nodes = 20 taken, 8 retained, 12 dropped.
+        assert sampler.dropped == 3 * NODES
+        assert sampler.dropped + len(sampler.samples) == 5 * NODES
+
+    def test_no_drops_below_capacity(self, env, cluster):
+        sampler = ResourceSampler(cluster, interval=0.5, max_samples=1000)
+        sampler.start()
+        env.run(until=2.1)
+        assert sampler.dropped == 0

@@ -1,0 +1,166 @@
+"""SLO tracker tests: attainment, error/burn rates, target matching.
+
+Synthetic snapshots are built through a real :class:`MetricsRegistry`
+emitting the same ``workflow.latency`` / ``workflow.invocations``
+series the engines produce, so these tests exercise the exact metric
+schema the trackers consume in production.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.slo import SLOReport, SLOTarget, SLOTracker, load_targets
+from repro.obs.telemetry import MetricsRegistry
+
+
+def snapshot_for(latencies, errors=0, tenant="default", workflow="wf"):
+    """Engine-shaped snapshot: latency histogram + status counters."""
+    reg = MetricsRegistry()
+    labels = dict(tenant=tenant, workflow=workflow, engine="worker-sp")
+    for latency in latencies:
+        reg.observe("workflow.latency", latency, **labels)
+        reg.inc("workflow.invocations", 1.0, status="ok", **labels)
+    for _ in range(errors):
+        reg.observe("workflow.latency", latencies[-1], **labels)
+        reg.inc("workflow.invocations", 1.0, status="failed", **labels)
+    return reg.snapshot()
+
+
+class TestSLOTarget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOTarget(latency_target=0.0)
+        with pytest.raises(ValueError):
+            SLOTarget(latency_target=1.0, objective=0.0)
+        with pytest.raises(ValueError):
+            SLOTarget(latency_target=1.0, error_budget=1.0)
+
+    def test_allowed_miss_rate(self):
+        target = SLOTarget(latency_target=1.0, objective=95.0,
+                           error_budget=0.01)
+        assert target.allowed_miss_rate == pytest.approx(0.06)
+
+    def test_wildcard_matching_and_specificity(self):
+        wild = SLOTarget(latency_target=1.0)
+        tenant_only = SLOTarget(latency_target=2.0, tenant="acme")
+        exact = SLOTarget(latency_target=3.0, tenant="acme", workflow="wf")
+        assert wild.matches("x", "y") and wild.specificity() == 0
+        assert tenant_only.matches("acme", "anything")
+        assert not tenant_only.matches("other", "anything")
+        assert exact.specificity() == 2
+        tracker = SLOTracker([wild, tenant_only, exact])
+        assert tracker.target_for("acme", "wf") is exact
+        assert tracker.target_for("acme", "other") is tenant_only
+        assert tracker.target_for("other", "other") is wild
+
+
+class TestSLOTrackerEvaluate:
+    def test_all_within_target(self):
+        tracker = SLOTracker([SLOTarget(latency_target=10.0)])
+        (report,) = tracker.evaluate(snapshot_for([1.0, 2.0, 3.0]))
+        assert report.invocations == 3
+        assert report.errors == 0
+        assert report.attainment == 1.0
+        assert report.miss_rate == 0.0
+        assert report.burn_rate == 0.0
+        assert report.met
+
+    def test_latency_misses_burn_budget(self):
+        # 2 of 10 over target = 20% miss vs 6% allowed -> burning.
+        latencies = [0.1] * 8 + [100.0, 100.0]
+        tracker = SLOTracker(
+            [SLOTarget(latency_target=1.0, objective=95.0,
+                       error_budget=0.01)]
+        )
+        (report,) = tracker.evaluate(snapshot_for(latencies))
+        assert report.invocations == 10
+        assert report.attainment == pytest.approx(0.8)
+        assert report.miss_rate == pytest.approx(0.2)
+        assert report.burn_rate == pytest.approx(0.2 / 0.06)
+        assert not report.met
+
+    def test_errors_counted(self):
+        tracker = SLOTracker([SLOTarget(latency_target=10.0)])
+        (report,) = tracker.evaluate(snapshot_for([0.5] * 8, errors=2))
+        assert report.invocations == 10
+        assert report.errors == 2
+        assert report.error_rate == pytest.approx(0.2)
+        assert report.miss_rate >= report.error_rate - 1e-12
+        assert not report.met
+
+    def test_pair_without_target_skipped(self):
+        tracker = SLOTracker(
+            [SLOTarget(latency_target=1.0, tenant="someone-else")]
+        )
+        assert tracker.evaluate(snapshot_for([0.5])) == []
+
+    def test_engine_splits_merge(self):
+        # The same pair reported by both engines merges into one row.
+        reg = MetricsRegistry()
+        for engine in ("worker-sp", "master-sp"):
+            labels = dict(tenant="default", workflow="wf", engine=engine)
+            reg.observe("workflow.latency", 0.5, **labels)
+            reg.inc("workflow.invocations", 1.0, status="ok", **labels)
+        tracker = SLOTracker([SLOTarget(latency_target=1.0)])
+        (report,) = tracker.evaluate(reg.snapshot())
+        assert report.invocations == 2
+
+    def test_report_to_dict_roundtrips_json(self):
+        tracker = SLOTracker([SLOTarget(latency_target=1.0)])
+        (report,) = tracker.evaluate(snapshot_for([0.5, 2.0]))
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["invocations"] == 2
+        assert data["met"] == report.met
+
+    def test_pairs_discovered_from_snapshot(self):
+        reg = MetricsRegistry()
+        for tenant, wf in [("a", "w1"), ("a", "w2"), ("b", "w1")]:
+            reg.observe(
+                "workflow.latency", 0.5,
+                tenant=tenant, workflow=wf, engine="worker-sp",
+            )
+        assert SLOTracker.pairs(reg.snapshot()) == [
+            ("a", "w1"), ("a", "w2"), ("b", "w1"),
+        ]
+
+
+class TestLoadTargets:
+    def test_list_form(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps([
+            {"latency_target": 2.0},
+            {"latency_target": 1.0, "tenant": "acme", "workflow": "wf",
+             "objective": 99.0, "error_budget": 0.0},
+        ]))
+        targets = load_targets(path)
+        assert len(targets) == 2
+        assert targets[0].tenant is None
+        assert targets[1].objective == 99.0
+
+    def test_dict_form(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(
+            {"targets": [{"latency_target": 3.0, "tenant": "t"}]}
+        ))
+        (target,) = load_targets(path)
+        assert target.tenant == "t" and target.latency_target == 3.0
+
+
+class TestEndToEnd:
+    def test_real_run_produces_reports(self):
+        from repro.runner import run_workflow
+
+        from ..core.conftest import linear_dag
+
+        summary = run_workflow(
+            linear_dag(name="slotest", n=3),
+            invocations=3, workers=3,
+            collect_telemetry=True, tenant="acme",
+        )
+        tracker = SLOTracker([SLOTarget(latency_target=1e6)])
+        reports = tracker.evaluate(summary.telemetry)
+        assert [
+            (r.tenant, r.workflow, r.invocations) for r in reports
+        ] == [("acme", "slotest", 3)]
+        assert reports[0].met
