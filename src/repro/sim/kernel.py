@@ -166,7 +166,16 @@ class Timeout(Event):
         self._ok = True
         self._cancelled = False
         self.delay = delay
-        env._schedule(self, delay=delay)
+        # _schedule inlined: this is the pool-miss half of the hottest
+        # allocation path in the kernel (timeout() handles the pool-hit
+        # half), and the extra call level is measurable at millions of
+        # timers per run.
+        env._eid += 1
+        queue = env._queue
+        if queue is not None:
+            heappush(queue, (env._now + delay, env._eid, self))
+        else:
+            env._sched_insert(env._now + delay, env._eid, self)
 
     @property
     def cancelled(self) -> bool:
@@ -175,18 +184,21 @@ class Timeout(Event):
     def cancel(self) -> None:
         """Discard the timeout: its callbacks will never run.
 
-        The heap entry usually stays queued until its scheduled time and
-        is dropped unprocessed when popped — no callback invocation, no
-        version-counter churn.  When cancelled-but-queued timers come to
-        dominate the heap (long watchdogs cancelled long before their
-        deadline), the environment compacts them out so the heap stays
-        proportional to *live* events.  This is for timers that get
-        superseded before they fire (the network's completion wake-up, a
-        container's keep-alive expiry, an invocation's execution
-        watchdog).  The caller is responsible for not cancelling a
-        timeout some process still waits on (that process would never
-        resume).  Cancelling twice is a no-op; cancelling an
-        already-processed timeout is an error.
+        The queue entry becomes a *tombstone*: it is dropped unprocessed
+        — no callback invocation, and the simulation clock never
+        advances to its deadline.  Under the heap scheduler the entry
+        usually stays queued until its scheduled time surfaces (and is
+        compacted out in bulk when tombstones come to dominate the
+        queue); under the wheel scheduler tombstones are dropped
+        bucket-locally when their bucket is loaded.  Either way the
+        observable simulation — clock, callback order, final drain time
+        — is identical.  This is for timers that get superseded before
+        they fire (the network's completion wake-up, a container's
+        keep-alive expiry, an invocation's execution watchdog).  The
+        caller is responsible for not cancelling a timeout some process
+        still waits on (that process would never resume).  Cancelling
+        twice is a no-op; cancelling an already-processed timeout is an
+        error.
         """
         if self._state == PROCESSED:
             raise SimulationError("cannot cancel a processed timeout")
@@ -428,11 +440,23 @@ class Process(Event):
 
 
 class Environment:
-    """Holds the event queue and the simulation clock."""
+    """Holds the event queue and the simulation clock.
+
+    ``scheduler`` selects the priority structure behind the queue (see
+    :mod:`repro.sim.sched`): ``"heap"`` (the default binary heap),
+    ``"wheel"`` (a calendar-queue timer wheel with O(1) amortized
+    insert and bucket-local tombstone dropping), a factory callable, or
+    ``None`` to resolve the process-wide ``FAASFLOW_SCHEDULER`` default.
+    Both schedulers realize the exact same ``(when, eid)`` total order,
+    so every observable simulation result is bit-identical either way.
+    """
 
     __slots__ = (
         "_now",
         "_queue",
+        "_sched",
+        "_sched_insert",
+        "_is_wheel",
         "_eid",
         "_active_process",
         "_crashed",
@@ -446,19 +470,33 @@ class Environment:
         self,
         initial_time: float = 0.0,
         timer_compaction_threshold: int = 64,
+        scheduler=None,
     ):
         if timer_compaction_threshold < 1:
             raise SimulationError(
                 "timer_compaction_threshold must be >= 1, got "
                 f"{timer_compaction_threshold}"
             )
+        from .sched import HeapScheduler, WheelScheduler, make_scheduler
+
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._crashed: list[tuple[Process, BaseException]] = []
         self._cancelled_timers = 0
         self._compaction_threshold = int(timer_compaction_threshold)
+        self._sched = make_scheduler(self, scheduler)
+        # The heap's backing list is aliased as ``_queue`` so the inlined
+        # dispatch loops (and the hot factories below) keep using
+        # C-level heappush/heappop directly.  Under any other scheduler
+        # ``_queue`` is None, inserts go through the pre-bound
+        # ``_sched_insert``, and dispatch runs the wheel-inlined loop
+        # (``_run_wheel``) or the generic interface loop (``_run_sched``).
+        self._queue: Optional[list[tuple[float, int, Event]]] = (
+            self._sched.heap if type(self._sched) is HeapScheduler else None
+        )
+        self._sched_insert = self._sched.insert
+        self._is_wheel = type(self._sched) is WheelScheduler
         # Free-lists for the two hottest allocations: Timeout events
         # (recycled only once provably unreferenced) and kernel-internal
         # _Resume entries (never escape, always recycled).
@@ -475,8 +513,27 @@ class Environment:
         return self._active_process
 
     @property
+    def scheduler(self):
+        """The live :class:`~repro.sim.sched.Scheduler` instance."""
+        return self._sched
+
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the active scheduler (``"heap"`` or ``"wheel"``)."""
+        return self._sched.name
+
+    @property
+    def queued_events(self) -> int:
+        """Entries queued, including cancelled-but-queued tombstones."""
+        return len(self._sched)
+
+    @property
     def timer_compaction_threshold(self) -> int:
-        """Cancelled-timer count below which heap compaction never runs."""
+        """Cancelled-timer count below which heap compaction never runs.
+
+        Heap-only knob: the wheel scheduler drops tombstones
+        bucket-locally and never runs a global compaction pass.
+        """
         return self._compaction_threshold
 
     # -- event factories ----------------------------------------------
@@ -494,7 +551,11 @@ class Environment:
             event._value = value
             event.delay = delay
             self._eid += 1
-            heappush(self._queue, (self._now + delay, self._eid, event))
+            queue = self._queue
+            if queue is not None:
+                heappush(queue, (self._now + delay, self._eid, event))
+            else:
+                self._sched_insert(self._now + delay, self._eid, event)
             return event
         return Timeout(self, delay, value)
 
@@ -531,7 +592,14 @@ class Environment:
             event._cancelled = False
         event.delay = when - self._now
         self._eid += 1
-        heappush(self._queue, (when, self._eid, event))
+        queue = self._queue
+        if queue is not None:
+            heappush(queue, (when, self._eid, event))
+        else:
+            # The scheduler receives ``when`` exactly as named — the
+            # wheel carries full keys in its buckets, so the cross-shard
+            # exact-timestamp contract holds under either scheduler.
+            self._sched_insert(when, self._eid, event)
         return event
 
     def process(
@@ -548,7 +616,11 @@ class Environment:
     # -- scheduling ----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._eid += 1
-        heappush(self._queue, (self._now + delay, self._eid, event))
+        queue = self._queue
+        if queue is not None:
+            heappush(queue, (self._now + delay, self._eid, event))
+        else:
+            self._sched_insert(self._now + delay, self._eid, event)
 
     def _schedule_resume(
         self, callback: Callable[[Any], None], ok: bool, value: Any
@@ -567,72 +639,74 @@ class Environment:
         else:
             entry = _Resume(callback, ok, value)
         self._eid += 1
-        heappush(self._queue, (self._now, self._eid, entry))
+        queue = self._queue
+        if queue is not None:
+            heappush(queue, (self._now, self._eid, entry))
+        else:
+            self._sched_insert(self._now, self._eid, entry)
 
     def _note_cancelled_timer(self) -> None:
         """Bookkeeping hook for :meth:`Timeout.cancel`.
 
-        When cancelled timers make up more than half of a non-trivial
-        heap, rebuild it without them: long-deadline watchdogs that are
-        cancelled on every completion (one 60 s execution timeout per
-        invocation, say) would otherwise accumulate for their full
-        nominal delay and make the heap grow with throughput instead of
-        with live work.
+        Delegates to the scheduler: the heap rebuilds itself without
+        tombstones once they pass ``timer_compaction_threshold`` AND
+        make up more than half of the queue; the wheel drops tombstones
+        bucket-locally and treats this as a no-op.
         """
         self._cancelled_timers += 1
-        count = self._cancelled_timers
-        if count < self._compaction_threshold or count * 2 < len(self._queue):
-            return
-        from heapq import heapify
+        if self._sched.note_cancelled(self._cancelled_timers):
+            self._cancelled_timers = 0
 
-        keep = []
-        for entry in self._queue:
-            event = entry[2]
-            if isinstance(event, Timeout) and event._cancelled:
-                # Same retirement path a popped cancelled timer takes.
-                event._cancelled = False
-                event._state = PROCESSED
-                event.callbacks.clear()
-                self._recycle(event)
-            else:
-                keep.append(entry)
-        heapify(keep)
-        # In-place: run()'s inlined dispatch loops hold a local alias
-        # of the queue list, so the identity must not change.
-        self._queue[:] = keep
-        self._cancelled_timers = 0
+    def _retire_cancelled(self, event: Timeout) -> None:
+        """Retire a cancelled timer dropped without being dispatched.
+
+        Same lifecycle a tombstone takes when the dispatch loop pops it:
+        the state moves to PROCESSED (what other kernel paths and the
+        free-list expect) and the flag resets so a pooled reuse starts
+        clean.  The caller recycles separately, so the refcount proof
+        in :meth:`_recycle` sees exactly the frames it expects.
+        """
+        event._cancelled = False
+        event._state = PROCESSED
+        event.callbacks.clear()
+        self._cancelled_timers -= 1
 
     def peek(self) -> float:
         """Time of the next event that will actually fire, or ``inf``.
 
-        Lazily-cancelled timeouts parked at the head of the heap are
-        popped and retired on the way: they would otherwise make ``peek``
-        report a time at which nothing observable happens.  The shard
-        coordinator's conservative-window lookahead depends on this —
-        a stale head would both shrink windows needlessly and, worse,
+        Lazily-cancelled timeouts parked at the head of the queue are
+        retired on the way (the scheduler owns the skip — one shared
+        implementation for this method and the shard coordinator's
+        barrier lookahead): they would otherwise make ``peek`` report a
+        time at which nothing observable happens.  The shard
+        coordinator's conservative-window protocol depends on this — a
+        stale head would both shrink windows needlessly and, worse,
         keep a drained shard looking busy forever.
         """
-        queue = self._queue
-        while queue:
-            when, _, event = queue[0]
-            if type(event) is Timeout and event._cancelled:
-                heappop(queue)
-                # Same retirement path _process_callbacks takes for a
-                # cancelled timer popped by the dispatch loop.
-                event._cancelled = False
-                event._state = PROCESSED
-                event.callbacks.clear()
-                self._cancelled_timers -= 1
-                self._recycle(event)
-                continue
-            return when
-        return float("inf")
+        return self._sched.peek()
 
     def step(self) -> None:
-        """Process the next event; raises if the queue is empty."""
-        if not self._queue:
+        """Process the next live event; raises if the queue is empty.
+
+        Cancelled tombstones ahead of the next live event are retired
+        silently, without advancing the clock.  If the queue held only
+        tombstones they are all retired and the call returns without
+        processing anything.
+        """
+        sched = self._sched
+        if not len(sched):
             raise SimulationError("no scheduled events")
-        when, _, event = heappop(self._queue)
+        while True:
+            try:
+                when, _, event = sched.pop()
+            except IndexError:
+                # The queue held only tombstones; all retired.
+                return
+            if type(event) is Timeout and event._cancelled:
+                self._retire_cancelled(event)
+                self._recycle(event)
+                continue
+            break
         self._now = when
         event._process_callbacks()
         if self._crashed:
@@ -673,12 +747,22 @@ class Environment:
         second ``run(until=...)`` call with a smaller deadline after the
         first set ``now`` to its deadline) is a no-op — nothing is
         processed and ``now`` is left where it was, never rewound.
+
+        Cancelled tombstones are dropped without running callbacks and
+        without advancing the clock, so the observable clock trajectory
+        (including the final ``now`` after a full drain) is identical
+        under every scheduler and independent of compaction timing.
         """
-        # The dispatch body below is step() inlined (including the
-        # free-list recycling) — the per-event method-call overhead is
-        # measurable at millions of events per run.  Keep the three
-        # copies in sync with step()/_recycle().
         queue = self._queue
+        if queue is None:
+            if self._is_wheel:
+                return self._run_wheel(until)
+            return self._run_sched(until)
+        # The dispatch body below is step() inlined (including the
+        # tombstone drop and free-list recycling) — the per-event
+        # method-call overhead is measurable at millions of events per
+        # run.  Keep the copies in sync with step()/_recycle() and the
+        # generic loop in _run_sched().
         crashed = self._crashed
         resume_pool = self._resume_pool
         timeout_pool = self._timeout_pool
@@ -694,6 +778,19 @@ class Environment:
                         "event queue drained before the awaited event fired"
                     )
                 when, _, event = heappop(queue)
+                cls = type(event)
+                if cls is Timeout and event._cancelled:
+                    event._cancelled = False
+                    event._state = PROCESSED
+                    event.callbacks.clear()
+                    self._cancelled_timers -= 1
+                    if (
+                        _getrefcount is not None
+                        and len(timeout_pool) < _POOL_CAP
+                        and _getrefcount(event) == 2  # loop local + getrefcount arg
+                    ):
+                        timeout_pool.append(event)
+                    continue
                 self._now = when
                 event._process_callbacks()
                 if crashed:
@@ -701,7 +798,6 @@ class Environment:
                     raise SimulationError(
                         f"process {process.name!r} crashed at t={self._now}"
                     ) from error
-                cls = type(event)
                 if cls is _Resume:
                     if len(resume_pool) < _POOL_CAP:
                         resume_pool.append(event)
@@ -721,6 +817,19 @@ class Environment:
             return None
         while queue and queue[0][0] <= deadline:
             when, _, event = heappop(queue)
+            cls = type(event)
+            if cls is Timeout and event._cancelled:
+                event._cancelled = False
+                event._state = PROCESSED
+                event.callbacks.clear()
+                self._cancelled_timers -= 1
+                if (
+                    _getrefcount is not None
+                    and len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
+                continue
             self._now = when
             event._process_callbacks()
             if crashed:
@@ -728,7 +837,6 @@ class Environment:
                 raise SimulationError(
                     f"process {process.name!r} crashed at t={self._now}"
                 ) from error
-            cls = type(event)
             if cls is _Resume:
                 if len(resume_pool) < _POOL_CAP:
                     resume_pool.append(event)
@@ -739,6 +847,238 @@ class Environment:
                 and _getrefcount(event) == 2  # loop local + getrefcount arg
             ):
                 timeout_pool.append(event)
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def _run_wheel(self, until: Optional[float | Event]) -> Any:
+        """The ``run`` dispatch loop with the wheel's hot path inlined.
+
+        Mirrors the inlined heap loops in :meth:`run`: head selection
+        (active-bucket tail vs. near-heap minimum) happens right here
+        instead of through two scheduler method calls per event — at
+        millions of events per run the calls alone cost more than the
+        extraction.  Bucket refills still go through
+        ``WheelScheduler._load_next`` (amortized: once per bucket, not
+        per event).  The ``_cur``/``_near`` lists are stable objects
+        filled in place, so the local aliases below stay valid across
+        refills.  Keep in sync with step()/_recycle() and the wheel's
+        own pop()/pop_until().
+        """
+        sched = self._sched
+        cur = sched._cur
+        near = sched._near
+        load_next = sched._load_next
+        crashed = self._crashed
+        resume_pool = self._resume_pool
+        timeout_pool = self._timeout_pool
+        if isinstance(until, Event):
+            stop_event = until
+            if not stop_event.processed:
+                stop_event.callbacks.append(lambda _event: None)
+            while stop_event._state != PROCESSED:
+                # Head select: tail of the sorted active bucket unless
+                # the near heap holds something earlier.  No lingering
+                # entry-tuple locals — the refcount proofs below need
+                # the key tuple gone by the time they run.
+                if cur:
+                    if near and near[0] < cur[-1]:
+                        when, _, event = heappop(near)
+                    else:
+                        when, _, event = cur.pop()
+                elif near:
+                    when, _, event = heappop(near)
+                else:
+                    if not load_next():
+                        raise SimulationError(
+                            "event queue drained before the awaited event fired"
+                        )
+                    continue
+                cls = type(event)
+                if cls is Timeout and event._cancelled:
+                    event._cancelled = False
+                    event._state = PROCESSED
+                    event.callbacks.clear()
+                    self._cancelled_timers -= 1
+                    if (
+                        _getrefcount is not None
+                        and len(timeout_pool) < _POOL_CAP
+                        and _getrefcount(event) == 2  # loop local + getrefcount arg
+                    ):
+                        timeout_pool.append(event)
+                    continue
+                self._now = when
+                event._process_callbacks()
+                if crashed:
+                    process, error = crashed.pop()
+                    raise SimulationError(
+                        f"process {process.name!r} crashed at t={self._now}"
+                    ) from error
+                if cls is _Resume:
+                    if len(resume_pool) < _POOL_CAP:
+                        resume_pool.append(event)
+                elif (
+                    cls is Timeout
+                    and _getrefcount is not None
+                    and len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
+            if stop_event.ok:
+                return stop_event._value
+            raise stop_event._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            return None
+        while True:
+            if cur:
+                if near and near[0] < cur[-1]:
+                    if near[0][0] > deadline:
+                        break
+                    when, _, event = heappop(near)
+                else:
+                    if cur[-1][0] > deadline:
+                        break
+                    when, _, event = cur.pop()
+            elif near:
+                if near[0][0] > deadline:
+                    break
+                when, _, event = heappop(near)
+            else:
+                if not load_next():
+                    break
+                continue
+            cls = type(event)
+            if cls is Timeout and event._cancelled:
+                event._cancelled = False
+                event._state = PROCESSED
+                event.callbacks.clear()
+                self._cancelled_timers -= 1
+                if (
+                    _getrefcount is not None
+                    and len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
+                continue
+            self._now = when
+            event._process_callbacks()
+            if crashed:
+                process, error = crashed.pop()
+                raise SimulationError(
+                    f"process {process.name!r} crashed at t={self._now}"
+                ) from error
+            if cls is _Resume:
+                if len(resume_pool) < _POOL_CAP:
+                    resume_pool.append(event)
+            elif (
+                cls is Timeout
+                and _getrefcount is not None
+                and len(timeout_pool) < _POOL_CAP
+                and _getrefcount(event) == 2  # loop local + getrefcount arg
+            ):
+                timeout_pool.append(event)
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def _run_sched(self, until: Optional[float | Event]) -> Any:
+        """The ``run`` dispatch loop for non-heap schedulers.
+
+        Same semantics as the inlined heap loops above, driven through
+        the :class:`~repro.sim.sched.Scheduler` interface.  Tombstones
+        that survived bucket-local dropping (cancelled after their
+        bucket was loaded) are retired here, clock untouched.
+        """
+        sched = self._sched
+        crashed = self._crashed
+        resume_pool = self._resume_pool
+        timeout_pool = self._timeout_pool
+        if isinstance(until, Event):
+            stop_event = until
+            if not stop_event.processed:
+                stop_event.callbacks.append(lambda _event: None)
+            pop = sched.pop
+            while stop_event._state != PROCESSED:
+                try:
+                    when, _, event = pop()
+                except IndexError:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    ) from None
+                cls = type(event)
+                if cls is Timeout and event._cancelled:
+                    event._cancelled = False
+                    event._state = PROCESSED
+                    event.callbacks.clear()
+                    self._cancelled_timers -= 1
+                    if (
+                        _getrefcount is not None
+                        and len(timeout_pool) < _POOL_CAP
+                        and _getrefcount(event) == 2  # loop local + getrefcount arg
+                    ):
+                        timeout_pool.append(event)
+                    continue
+                self._now = when
+                event._process_callbacks()
+                if crashed:
+                    process, error = crashed.pop()
+                    raise SimulationError(
+                        f"process {process.name!r} crashed at t={self._now}"
+                    ) from error
+                if cls is _Resume:
+                    if len(resume_pool) < _POOL_CAP:
+                        resume_pool.append(event)
+                elif (
+                    cls is Timeout
+                    and _getrefcount is not None
+                    and len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
+            if stop_event.ok:
+                return stop_event._value
+            raise stop_event._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            return None
+        pop_until = sched.pop_until
+        while True:
+            entry = pop_until(deadline)
+            if entry is None:
+                break
+            when, _, event = entry
+            cls = type(event)
+            if cls is Timeout and event._cancelled:
+                event._cancelled = False
+                event._state = PROCESSED
+                event.callbacks.clear()
+                self._cancelled_timers -= 1
+                del entry  # release the key tuple so the proof below holds
+                if (
+                    _getrefcount is not None
+                    and len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
+                continue
+            self._now = when
+            event._process_callbacks()
+            if crashed:
+                process, error = crashed.pop()
+                raise SimulationError(
+                    f"process {process.name!r} crashed at t={self._now}"
+                ) from error
+            if cls is _Resume:
+                if len(resume_pool) < _POOL_CAP:
+                    resume_pool.append(event)
+            elif cls is Timeout and _getrefcount is not None:
+                del entry  # release the key tuple before the refcount proof
+                if (
+                    len(timeout_pool) < _POOL_CAP
+                    and _getrefcount(event) == 2  # loop local + getrefcount arg
+                ):
+                    timeout_pool.append(event)
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -161,8 +161,15 @@ class _ShardHost:
     ``result()`` (picklable final state).
     """
 
-    def __init__(self, shard_id: int, factory, payload, lookahead: float):
-        self.env = Environment()
+    def __init__(
+        self,
+        shard_id: int,
+        factory,
+        payload,
+        lookahead: float,
+        scheduler: Optional[str] = None,
+    ):
+        self.env = Environment(scheduler=scheduler)
         self.api = ShardAPI(self.env, shard_id, lookahead)
         self.program = factory(self.env, self.api, payload)
 
@@ -193,10 +200,12 @@ class _ShardHost:
         return self.program.result()
 
 
-def _shard_worker_main(conn, shard_id: int, factory, payload, lookahead: float):
+def _shard_worker_main(
+    conn, shard_id: int, factory, payload, lookahead: float, scheduler=None
+):
     """Entry point of one shard worker process (module-level: spawn-safe)."""
     try:
-        host = _ShardHost(shard_id, factory, payload, lookahead)
+        host = _ShardHost(shard_id, factory, payload, lookahead, scheduler)
         conn.send(("ok", host.hello()))
     except BaseException as error:  # noqa: BLE001 - shipped to coordinator
         conn.send(("err", f"{type(error).__name__}: {error}"))
@@ -227,9 +236,14 @@ def _shard_worker_main(conn, shard_id: int, factory, payload, lookahead: float):
 class _LocalBackend:
     name = "inproc"
 
-    def __init__(self, specs: list[tuple], lookahead: float):
+    def __init__(
+        self,
+        specs: list[tuple],
+        lookahead: float,
+        scheduler: Optional[str] = None,
+    ):
         self.hosts = [
-            _ShardHost(i, factory, payload, lookahead)
+            _ShardHost(i, factory, payload, lookahead, scheduler)
             for i, (factory, payload) in enumerate(specs)
         ]
 
@@ -252,7 +266,12 @@ class _LocalBackend:
 class _ProcessBackend:
     name = "process"
 
-    def __init__(self, specs: list[tuple], lookahead: float):
+    def __init__(
+        self,
+        specs: list[tuple],
+        lookahead: float,
+        scheduler: Optional[str] = None,
+    ):
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -264,7 +283,7 @@ class _ProcessBackend:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_shard_worker_main,
-                    args=(child, i, factory, payload, lookahead),
+                    args=(child, i, factory, payload, lookahead, scheduler),
                     daemon=True,
                 )
                 proc.start()
@@ -326,6 +345,7 @@ class ShardCoordinator:
         lookahead: float = DEFAULT_LOOKAHEAD,
         processes: bool = True,
         max_rounds: int = 1_000_000,
+        scheduler: Optional[str] = None,
     ):
         if lookahead <= 0:
             raise SimulationError(f"lookahead must be > 0, got {lookahead}")
@@ -335,20 +355,29 @@ class ShardCoordinator:
         self.lookahead = float(lookahead)
         self.processes = processes
         self.max_rounds = max_rounds
+        # Scheduler *name* (picklable) for every shard environment; None
+        # resolves the process-wide FAASFLOW_SCHEDULER default in each
+        # worker.  Barrier injection uses schedule_at's exact absolute
+        # timestamps, which both schedulers honor bit-identically.
+        self.scheduler = scheduler
 
     def run(self) -> dict:
         backend = None
         states = None
         if self.processes:
             try:
-                backend = _ProcessBackend(self.programs, self.lookahead)
+                backend = _ProcessBackend(
+                    self.programs, self.lookahead, self.scheduler
+                )
                 states = backend.hello_all()
             except _FALLBACK_ERRORS:
                 if backend is not None:
                     backend.close()
                 backend = None
         if backend is None:
-            backend = _LocalBackend(self.programs, self.lookahead)
+            backend = _LocalBackend(
+                self.programs, self.lookahead, self.scheduler
+            )
             states = backend.hello_all()
         try:
             return self._drive(backend, states)
@@ -524,13 +553,15 @@ def run_network_single(
     bandwidth: float = 100 * MB,
     net_kwargs: Optional[dict] = None,
     telemetry: bool = False,
+    scheduler: Optional[str] = None,
 ) -> dict:
     """Single-environment analytic reference for a shardable plan.
 
     Uses the same absolute-time scheduling as the sharded path, so a
-    shard-aligned plan produces bit-identical records either way.
+    shard-aligned plan produces bit-identical records either way —
+    under either kernel scheduler.
     """
-    env = Environment()
+    env = Environment(scheduler=scheduler)
     kwargs = dict(net_kwargs or {})
     kwargs["progress"] = "analytic"
     net = Network(env, NetworkConfig(**kwargs))
@@ -615,6 +646,7 @@ def run_network_sharded(
     strict: bool = False,
     net_kwargs: Optional[dict] = None,
     telemetry: bool = False,
+    scheduler: Optional[str] = None,
 ) -> dict:
     """Run a transfer plan across ``shards`` shard environments.
 
@@ -630,7 +662,12 @@ def run_network_sharded(
     """
     if shards == 1:
         return run_network_single(
-            plan, node_names, bandwidth, net_kwargs, telemetry=telemetry
+            plan,
+            node_names,
+            bandwidth,
+            net_kwargs,
+            telemetry=telemetry,
+            scheduler=scheduler,
         )
     parts = partition_nodes(node_names, shards, group_size)
     node_to_shard = {
@@ -655,6 +692,7 @@ def run_network_sharded(
         [(_network_shard_factory, payload) for payload in payloads],
         lookahead=look,
         processes=processes,
+        scheduler=scheduler,
     )
     outcome = coordinator.run()
     records: list[tuple] = []

@@ -99,7 +99,7 @@ class TestTimerCancellation:
         # Without Timeout.cancel() + heap compaction this holds one 60 s
         # watchdog per invocation (>= 150 entries by now); with them the
         # heap is bounded by live events plus the compaction threshold.
-        assert len(env._queue) <= 80
+        assert env.queued_events <= 80
 
     def test_master_heap_stays_bounded(self, env, cluster):
         system = HyperFlowServerlessSystem(
@@ -109,7 +109,7 @@ class TestTimerCancellation:
         system.register(dag, all_on(dag, "worker-0"))
         run_closed_loop(system, "lin", 150)
         drain(env)
-        assert len(env._queue) <= 80
+        assert env.queued_events <= 80
 
 
 class TestCancellationPropagation:

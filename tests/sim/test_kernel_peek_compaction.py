@@ -46,7 +46,7 @@ class TestPeekSkipsCancelled:
             timer.cancel()
         assert env.peek() == INF
         # The retired entries are really gone, not just skipped over.
-        assert len(env._queue) == 0
+        assert env.queued_events == 0
         assert env._cancelled_timers == 0
 
     def test_live_head_untouched(self):
@@ -54,7 +54,7 @@ class TestPeekSkipsCancelled:
         env.timeout(1.0)
         env.timeout(2.0)
         assert env.peek() == 1.0
-        assert len(env._queue) == 2
+        assert env.queued_events == 2
 
     def test_peek_matches_next_fire_time(self):
         """Property: after arbitrary cancels, peek() == time of the next
@@ -92,6 +92,10 @@ class TestPeekSkipsCancelled:
 
 
 class TestCompactionThreshold:
+    """The ``timer_compaction_threshold`` knob is heap-only: the wheel
+    scheduler drops tombstones bucket-locally and never compacts, so
+    these tests pin ``scheduler="heap"`` explicitly."""
+
     def test_default_threshold(self):
         assert Environment().timer_compaction_threshold == 64
 
@@ -102,24 +106,24 @@ class TestCompactionThreshold:
             Environment(timer_compaction_threshold=-3)
 
     def test_low_threshold_compacts_early(self):
-        env = Environment(timer_compaction_threshold=1)
+        env = Environment(timer_compaction_threshold=1, scheduler="heap")
         timers = [env.timeout(float(t + 1)) for t in range(4)]
         timers[0].cancel()
         # 1 cancelled out of 4 queued: below the half-queue rule.
-        assert len(env._queue) == 4
+        assert env.queued_events == 4
         timers[1].cancel()
         # 2 out of 4 >= half the queue and >= threshold: swept eagerly.
-        assert len(env._queue) == 2
+        assert env.queued_events == 2
         assert env._cancelled_timers == 0
 
     def test_high_threshold_defers_compaction(self):
-        env = Environment(timer_compaction_threshold=64)
+        env = Environment(timer_compaction_threshold=64, scheduler="heap")
         timers = [env.timeout(float(t + 1)) for t in range(4)]
         timers[0].cancel()
         timers[1].cancel()
         # Below the count threshold: the heap keeps the dead entries
         # (until they surface at the head or the run loop pops them).
-        assert len(env._queue) == 4
+        assert env.queued_events == 4
         assert env._cancelled_timers == 2
 
 
@@ -150,13 +154,15 @@ class TestKeepAliveChurn:
                 yield env.timeout(0.001)
                 pool.release(container)
                 yield env.timeout(0.001)
-                max_queue[0] = max(max_queue[0], len(env._queue))
+                max_queue[0] = max(max_queue[0], env.queued_events)
 
         env.process(driver())
         env.run()
 
     def test_queue_stays_bounded_default_threshold(self):
-        env = Environment()
+        # Heap-specific bound: the wheel parks tombstones in far-future
+        # buckets (dropped in bulk at load) instead of sweeping early.
+        env = Environment(scheduler="heap")
         pool = _make_pool(env)
         max_queue = [0]
         self._churn(env, pool, max_queue)
@@ -168,7 +174,7 @@ class TestKeepAliveChurn:
         assert env.peek() == INF or env.peek() > env.now
 
     def test_tighter_threshold_means_tighter_bound(self):
-        env = Environment(timer_compaction_threshold=8)
+        env = Environment(timer_compaction_threshold=8, scheduler="heap")
         pool = _make_pool(env)
         max_queue = [0]
         self._churn(env, pool, max_queue)
