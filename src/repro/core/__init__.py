@@ -1,6 +1,7 @@
 """FaaSFlow's core: engines, scheduler, grouping, FaaStore, reclamation."""
 
 from .config import EngineConfig
+from .dataflow_engine import DataflowEngine, DataflowSystem
 from .faastore import DataPolicy, FaaStorePolicy, RemoteStorePolicy, object_key
 from .faults import (
     CancelCause,
@@ -53,6 +54,8 @@ from .worker_engine import FaaSFlowSystem, WorkerEngine
 
 __all__ = [
     "DataPolicy",
+    "DataflowEngine",
+    "DataflowSystem",
     "EngineConfig",
     "ExecutionResult",
     "FaaSFlowSystem",

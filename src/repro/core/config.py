@@ -13,6 +13,7 @@ functions over an in-process RPC.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["EngineConfig"]
@@ -34,6 +35,19 @@ class EngineConfig:
 
     # Local function triggering via inner RPC (paper §3.1).
     local_trigger_time: float = 0.0015
+
+    # DataflowSP: per-token handling cost of function-level dataflow
+    # triggering (DFlow/DataFlower).  There is no sub-graph engine loop
+    # to serialize behind — tokens are processed in parallel — so each
+    # token pays only this constant.
+    dataflow_trigger_time: float = 0.002
+
+    # DataflowSP: when on, a producer ships each finished output chunk
+    # straight to its remote consumers' nodes the moment it is written
+    # (pre-fetched into the consumers' FaaStore before their trigger
+    # fires), overlapping transfer with upstream compute.  Off =
+    # trigger-only dataflow, the ablation baseline.
+    eager_ship: bool = True
 
     # Control-plane message sizes.
     assign_message_size: float = 2 * _KB  # master -> worker task assignment
@@ -93,6 +107,7 @@ class EngineConfig:
             "master_process_time",
             "worker_process_time",
             "local_trigger_time",
+            "dataflow_trigger_time",
             "assign_message_size",
             "result_message_size",
             "state_message_size",
@@ -111,6 +126,18 @@ class EngineConfig:
             raise ValueError("retry_backoff_max must be >= 0")
         if not 0.0 <= self.retry_jitter < 1.0:
             raise ValueError("retry_jitter must be in [0, 1)")
+        if self.retry_jitter > 0 and self.retry_backoff_base <= 0:
+            # The documented delay(n) = min(max, base * factor**(n-1))
+            # * (1 ± jitter) multiplies a zero base, so jitter alone
+            # silently does nothing.  Surface the misconfiguration here
+            # instead of letting retries storm back immediately.
+            warnings.warn(
+                "retry_jitter > 0 has no effect while retry_backoff_base "
+                "== 0: every retry delay is 0 regardless of jitter. Set "
+                "retry_backoff_base > 0 to enable jittered backoff.",
+                UserWarning,
+                stacklevel=2,
+            )
         if self.function_timeout < 0:
             raise ValueError("function_timeout must be >= 0")
         if self.service_time_jitter < 0:

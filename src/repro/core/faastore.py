@@ -42,6 +42,11 @@ class DataPolicy:
 
     name = "abstract"
 
+    # Whether the policy can accept dataflow-style eager pushes
+    # (producer-initiated worker-to-worker shipping into a consumer
+    # node's cache).  Engines must check this before spawning pushes.
+    supports_eager_push = False
+
     def __init__(self, cluster: Cluster, metrics: MetricsCollector):
         self.cluster = cluster
         self.metrics = metrics
@@ -211,6 +216,7 @@ class FaaStorePolicy(DataPolicy):
     """
 
     name = "faastore"
+    supports_eager_push = True
 
     def __init__(self, cluster: Cluster, metrics: MetricsCollector):
         super().__init__(cluster, metrics)
@@ -322,6 +328,112 @@ class FaaStorePolicy(DataPolicy):
         finally:
             self._inflight.pop(cache_slot, None)
             arrival.succeed()
+
+    def eager_push(
+        self,
+        src_node,
+        dst_node,
+        dag,
+        placement,
+        invocation_id: InvocationID,
+        producer: str,
+        chunk: int,
+        size: float,
+        consumers_on_node: int,
+    ) -> Generator:
+        """Dataflow eager shipping: pre-fetch one output chunk into a
+        *consumer* node's cache the moment the producer wrote it.
+
+        The bytes travel worker-to-worker (never touching the storage
+        node's NIC) while upstream functions are still computing, so by
+        the time the consumer's last trigger fires its input is already
+        local.  The push registers in the single-flight ``_inflight``
+        map: a consumer that fires mid-push waits for *this* transfer
+        instead of starting a remote read — the transfer that began at
+        produce time always wins the race.  A quota overflow on the
+        consumer node degrades to the normal remote read-through path;
+        like every FaaStore decision, eager shipping can only change
+        performance, never correctness.
+        """
+        if size <= 0 or consumers_on_node <= 0:
+            return
+        key = object_key(dag.name, invocation_id, producer, chunk)
+        slot = (key, dst_node.name)
+        if key in dst_node.memstore or slot in self._inflight:
+            return  # already there, or a sibling transfer owns the slot
+        arrival = self.env.event()
+        self._inflight[slot] = arrival
+        start = self.env.now
+        try:
+            yield self.cluster.network.message(
+                src_node.nic, dst_node.nic, size, tag=f"push:{key}"
+            )
+            seeded = dst_node.memstore.try_put(key, size)
+            if seeded is not None:
+                self._refcounts[slot] = consumers_on_node
+                yield seeded
+                self._record_push(
+                    dag, invocation_id, producer, size,
+                    self.env.now - start, dst_node.name,
+                )
+            else:
+                self._spill(dag, invocation_id, producer, dst_node, size, "push")
+        finally:
+            self._inflight.pop(slot, None)
+            if not arrival.triggered:
+                arrival.succeed()
+
+    def _record_push(
+        self, dag, invocation_id, producer, size, duration, node: str
+    ) -> None:
+        """Account an eager push (phase ``"push"``, worker-to-worker)."""
+        self.metrics.record_transfer(
+            TransferEvent(
+                workflow=dag.name,
+                invocation_id=invocation_id,
+                producer=producer,
+                consumer="",
+                size=size,
+                duration=duration,
+                phase="push",
+                local=False,
+            )
+        )
+        telemetry = self.cluster.telemetry
+        if telemetry.enabled:
+            telemetry.inc(
+                "data.bytes", size,
+                workflow=dag.name, node=node, phase="push", local="remote",
+            )
+            telemetry.inc(
+                "data.ops", 1.0,
+                workflow=dag.name, node=node, phase="push", local="remote",
+            )
+            telemetry.observe(
+                "data.seconds", duration,
+                workflow=dag.name, node=node, phase="push", local="remote",
+            )
+        spans = self.cluster.spans
+        if spans.enabled:
+            # Producer function spans have usually ended by push time
+            # (propagation is post-execute), so parent under the
+            # invocation root when the function context is gone.
+            parent = spans.context_of(invocation_id, producer)
+            if parent is None:
+                parent = spans.root_of(invocation_id)
+            spans.record(
+                SpanKind.PUT,
+                self.env.now - duration,
+                workflow=dag.name,
+                invocation_id=invocation_id,
+                function=producer,
+                node=node,
+                parent=parent,
+                producer=producer,
+                size=size,
+                local=False,
+                eager=True,
+            )
 
     def _spill(self, dag, invocation_id, function, node, size, phase) -> None:
         """Note a quota overflow: the local store refused the object."""

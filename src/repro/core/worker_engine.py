@@ -466,6 +466,10 @@ class FaaSFlowSystem:
     """The WorkerSP workflow system: graph-partitioned distributed engines."""
 
     mode = "worker-sp"
+    # Telemetry/SLO label for record_invocation_metrics; subclasses with
+    # a different triggering paradigm (DataflowSP) override both.
+    engine_label = "worker-sp"
+    engine_class = WorkerEngine
 
     def __init__(
         self,
@@ -495,7 +499,7 @@ class FaaSFlowSystem:
         # The master node doubles as the invoking client (paper §5.1).
         self.client_node = cluster.storage_node
         self.engines: dict[str, WorkerEngine] = {
-            worker.name: WorkerEngine(self, worker)
+            worker.name: self.engine_class(self, worker)
             for worker in cluster.workers
         }
         self._deployed: dict[tuple[str, int], _DeployedWorkflow] = {}
@@ -684,7 +688,7 @@ class FaaSFlowSystem:
         self.metrics.record_invocation(record)
         if self.telemetry.enabled:
             record_invocation_metrics(
-                self.telemetry, record, self.config.tenant, self.mode
+                self.telemetry, record, self.config.tenant, self.engine_label
             )
         self.trace(
             Kind.INVOCATION_END, workflow, invocation_id, detail=record.status

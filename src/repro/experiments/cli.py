@@ -28,6 +28,7 @@ from . import (
     sec57_component_overhead,
     sec6_memory_vs_network,
     ablations,
+    ext_dataflow_overlap,
     ext_fault_resilience,
 )
 
@@ -54,6 +55,10 @@ EXPERIMENTS: dict[str, tuple[Callable, dict]] = {
     ),
     "sec6": (sec6_memory_vs_network.run, {"invocations": 8}),
     "ablations": (ablations.run, {"invocations": 2}),
+    "dataflow": (
+        ext_dataflow_overlap.run,
+        {"invocations": 4, "benchmarks": ("genome",)},
+    ),
     "faults": (ext_fault_resilience.run, {"invocations": 4}),
     "faults-nodes": (
         ext_fault_resilience.run_node_crashes,

@@ -14,6 +14,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..clients import run_closed_loop
 from ..core import (
+    DataflowSystem,
     EngineConfig,
     FaaSFlowSystem,
     GraphScheduler,
@@ -30,6 +31,7 @@ __all__ = [
     "ParallelRunner",
     "derive_seed",
     "make_cluster",
+    "make_dataflow",
     "make_faasflow",
     "make_hyperflow",
     "deploy_with_feedback",
@@ -145,6 +147,19 @@ def make_faasflow(
 ) -> tuple[FaaSFlowSystem, GraphScheduler]:
     """FaaSFlow (WorkerSP + FaaStore) plus its graph scheduler."""
     system = FaaSFlowSystem(
+        cluster, EngineConfig(ship_data=ship_data, **config_kwargs)
+    )
+    scheduler = GraphScheduler(cluster)
+    return system, scheduler
+
+
+def make_dataflow(
+    cluster: Cluster, ship_data: bool = True, **config_kwargs
+) -> tuple[DataflowSystem, GraphScheduler]:
+    """DataflowSP (function-level triggering + eager shipping) plus its
+    graph scheduler.  Deployment is placement-driven exactly like
+    WorkerSP, so ``deploy_with_feedback`` works unchanged."""
+    system = DataflowSystem(
         cluster, EngineConfig(ship_data=ship_data, **config_kwargs)
     )
     scheduler = GraphScheduler(cluster)

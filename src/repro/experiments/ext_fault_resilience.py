@@ -237,7 +237,10 @@ def run_backoff(
                 ship_data=False,
                 max_retries=3,
                 retry_backoff_base=base,
-                retry_jitter=jitter,
+                # Jitter multiplies the base, so base 0 (the immediate-
+                # retry sweep point) must not configure jitter — the
+                # combination is a validation warning.
+                retry_jitter=jitter if base > 0 else 0.0,
             )
             system, dag = _build_system(engine, config, cluster, faults=faults)
             records = run_closed_loop(system, dag.name, invocations)

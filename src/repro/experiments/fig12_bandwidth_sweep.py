@@ -23,6 +23,7 @@ from .common import (
     deploy_with_feedback,
     derive_seed,
     make_cluster,
+    make_dataflow,
     make_faasflow,
     make_hyperflow,
     register_hyperflow,
@@ -34,12 +35,12 @@ DEFAULT_BANDWIDTHS = (25 * MB, 50 * MB, 75 * MB, 100 * MB)
 DEFAULT_RATES = (2.0, 4.0, 6.0, 8.0)
 
 
-def _sweep_cell(task: tuple) -> tuple[float, float]:
-    """One independent sweep point: both systems at (name, bw, rate).
+def _sweep_cell(task: tuple) -> tuple[float, float, float]:
+    """One independent sweep point: all three systems at (name, bw, rate).
 
     Module-level and fed by a plain tuple so a ParallelRunner can ship
-    it to a worker process.  Both systems see the same arrival process
-    (same derived seed) — the comparison stays paired.
+    it to a worker process.  All systems see the same arrival process
+    (same derived seed) — the three-way comparison stays paired.
     """
     name, bandwidth, rate, invocations, seed = task
     cluster_m = make_cluster(storage_bandwidth=bandwidth)
@@ -56,7 +57,15 @@ def _sweep_cell(task: tuple) -> tuple[float, float]:
     faasflow.metrics.clear()
     run_open_loop(faasflow, name, invocations, rate, seed=seed)
     faas_p99 = faasflow.metrics.tail_latency(name, q=99)
-    return hyper_p99, faas_p99
+
+    cluster_d = make_cluster(storage_bandwidth=bandwidth)
+    dataflow, d_scheduler = make_dataflow(cluster_d, ship_data=True)
+    dag_d = build(name)
+    deploy_with_feedback(dataflow, d_scheduler, dag_d, warmup_invocations=1)
+    dataflow.metrics.clear()
+    run_open_loop(dataflow, name, invocations, rate, seed=seed)
+    dataflow_p99 = dataflow.metrics.tail_latency(name, q=99)
+    return hyper_p99, faas_p99, dataflow_p99
 
 
 def run(
@@ -82,11 +91,12 @@ def run(
     results = ParallelRunner(jobs).map(_sweep_cell, tasks)
     rows = []
     series: dict[tuple, float] = {}
-    for (name, bandwidth, rate, _, _), (hyper_p99, faas_p99) in zip(
+    for (name, bandwidth, rate, _, _), (hyper_p99, faas_p99, dataflow_p99) in zip(
         tasks, results
     ):
         series[(name, bandwidth / MB, rate, "hyper")] = hyper_p99
         series[(name, bandwidth / MB, rate, "faasflow")] = faas_p99
+        series[(name, bandwidth / MB, rate, "dataflow")] = dataflow_p99
         rows.append(
             [
                 BENCHMARKS[name].abbrev,
@@ -94,9 +104,11 @@ def run(
                 rate,
                 round(hyper_p99, 2),
                 round(faas_p99, 2),
+                round(dataflow_p99, 2),
             ]
         )
     notes = _bandwidth_equivalence_notes(series, benchmarks, rates)
+    notes.extend(_dataflow_notes(series, benchmarks, bandwidths, rates))
     return ExperimentResult(
         experiment="fig12",
         title="p99 latency vs load across storage bandwidths",
@@ -106,6 +118,7 @@ def run(
             "rate (/min)",
             "HyperFlow p99 (s)",
             "FaaSFlow p99 (s)",
+            "DataflowSP p99 (s)",
         ],
         rows=rows,
         notes=notes,
@@ -136,6 +149,28 @@ def _bandwidth_equivalence_notes(series, benchmarks, rates) -> list[str]:
                     f"{name}: FaaSFlow-FaaStore @ {low:.0f} MB/s <= "
                     f"HyperFlow @ {matched} MB/s "
                     f"(bandwidth multiplied {min(matched) / low:.1f}x+)"
+                )
+    return notes
+
+
+def _dataflow_notes(series, benchmarks, bandwidths, rates) -> list[str]:
+    """Where does function-level dataflow triggering + eager shipping
+    sit relative to WorkerSP at each bandwidth?"""
+    notes = []
+    for name in benchmarks:
+        for bandwidth in bandwidths:
+            bw = bandwidth / MB
+            faas = [series.get((name, bw, r, "faasflow")) for r in rates]
+            flow = [series.get((name, bw, r, "dataflow")) for r in rates]
+            if any(v is None for v in faas) or any(v is None for v in flow):
+                continue
+            mean_f = sum(faas) / len(faas)
+            mean_d = sum(flow) / len(flow)
+            if mean_f > 0:
+                notes.append(
+                    f"{name} @ {bw:.0f} MB/s: DataflowSP mean p99 "
+                    f"{mean_d / mean_f:.2f}x of FaaSFlow-FaaStore "
+                    f"(overlap {'wins' if mean_d <= mean_f else 'loses'})"
                 )
     return notes
 

@@ -19,6 +19,7 @@ from .common import (
     deploy_with_feedback,
     derive_seed,
     make_cluster,
+    make_dataflow,
     make_faasflow,
     make_hyperflow,
     register_hyperflow,
@@ -31,8 +32,8 @@ def _p99(system, name: str) -> float:
     return system.metrics.tail_latency(name, q=99)
 
 
-def _benchmark_cell(task: tuple) -> tuple[float, int, float, int]:
-    """Both systems on one benchmark — independent, pool-shippable."""
+def _benchmark_cell(task: tuple) -> tuple[float, int, float, int, float, int]:
+    """All three systems on one benchmark — independent, pool-shippable."""
     name, invocations, rate_per_minute, bandwidth, seed = task
     cluster_m = make_cluster(storage_bandwidth=bandwidth)
     hyper = make_hyperflow(cluster_m, ship_data=True)
@@ -50,7 +51,19 @@ def _benchmark_cell(task: tuple) -> tuple[float, int, float, int]:
     run_open_loop(faasflow, name, invocations, rate_per_minute, seed=seed)
     faas_p99 = _p99(faasflow, name)
     faas_timeouts = len(faasflow.metrics.timeouts(name))
-    return hyper_p99, hyper_timeouts, faas_p99, faas_timeouts
+
+    cluster_d = make_cluster(storage_bandwidth=bandwidth)
+    dataflow, d_scheduler = make_dataflow(cluster_d, ship_data=True)
+    dag_d = build(name)
+    deploy_with_feedback(dataflow, d_scheduler, dag_d, warmup_invocations=1)
+    dataflow.metrics.clear()
+    run_open_loop(dataflow, name, invocations, rate_per_minute, seed=seed)
+    dataflow_p99 = _p99(dataflow, name)
+    dataflow_timeouts = len(dataflow.metrics.timeouts(name))
+    return (
+        hyper_p99, hyper_timeouts, faas_p99, faas_timeouts,
+        dataflow_p99, dataflow_timeouts,
+    )
 
 
 def run(
@@ -74,10 +87,14 @@ def run(
     ]
     results = ParallelRunner(jobs).map(_benchmark_cell, tasks)
     rows = []
-    for name, (hyper_p99, hyper_timeouts, faas_p99, faas_timeouts) in zip(
-        names, results
-    ):
+    dataflow_vs_faas = []
+    for name, (
+        hyper_p99, hyper_timeouts, faas_p99, faas_timeouts,
+        dataflow_p99, dataflow_timeouts,
+    ) in zip(names, results):
         reduction = 100 * (1 - faas_p99 / hyper_p99) if hyper_p99 else 0.0
+        if faas_p99:
+            dataflow_vs_faas.append(dataflow_p99 / faas_p99)
         rows.append(
             [
                 BENCHMARKS[name].abbrev,
@@ -85,6 +102,8 @@ def run(
                 hyper_timeouts,
                 round(faas_p99, 2),
                 faas_timeouts,
+                round(dataflow_p99, 2),
+                dataflow_timeouts,
                 f"{reduction:.0f}%",
             ]
         )
@@ -93,6 +112,16 @@ def run(
         "FaaSFlow-FaaStore reduces the other benchmarks' p99 by 23.3% on "
         "average and Cyc/Gen by 75.2%",
     ]
+    if dataflow_vs_faas:
+        geomean = 1.0
+        for ratio in dataflow_vs_faas:
+            geomean *= ratio
+        geomean **= 1.0 / len(dataflow_vs_faas)
+        notes.append(
+            f"DataflowSP p99 is {geomean:.2f}x of FaaSFlow-FaaStore "
+            "(geomean): function-level triggering + eager shipping "
+            "overlaps transfer with compute"
+        )
     return ExperimentResult(
         experiment="fig13",
         title=(
@@ -104,6 +133,8 @@ def run(
             "HyperFlow p99 (s)",
             "timeouts",
             "FaaSFlow p99 (s)",
+            "timeouts",
+            "DataflowSP p99 (s)",
             "timeouts",
             "reduction",
         ],

@@ -147,13 +147,23 @@ class SLOTracker:
         self.targets.append(target)
 
     def target_for(self, tenant: str, workflow: str) -> Optional[SLOTarget]:
-        """Most specific matching target (exact pair beats wildcard)."""
+        """Most specific matching target (exact pair beats wildcard).
+
+        Ties are deterministic: at equal specificity a tenant-scoped
+        target beats a workflow-scoped one (the tenant is who the SLO
+        is owed to), and remaining ties keep the earliest-declared
+        target — so the answer never depends on registration order
+        beyond the documented first-declared-wins rule.
+        """
         best: Optional[SLOTarget] = None
+        best_score = (-1, False)
         for target in self.targets:
             if not target.matches(tenant, workflow):
                 continue
-            if best is None or target.specificity() > best.specificity():
+            score = (target.specificity(), target.tenant is not None)
+            if score > best_score:
                 best = target
+                best_score = score
         return best
 
     @staticmethod

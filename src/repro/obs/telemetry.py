@@ -79,7 +79,7 @@ class LogHistogram:
 
     __slots__ = (
         "growth", "count", "sum", "min", "max", "zeros", "buckets",
-        "windows", "_log_growth",
+        "windows", "_log_growth", "_sorted",
     )
 
     def __init__(self, growth: float = DEFAULT_GROWTH):
@@ -93,6 +93,10 @@ class LogHistogram:
         self.max = -math.inf
         self.zeros = 0
         self.buckets: dict[int, int] = {}
+        # Sorted bucket indices, rebuilt lazily by quantile(): most
+        # observations hit existing buckets, so quantile sweeps over
+        # large snapshots stop paying O(B log B) per call.
+        self._sorted: Optional[list[int]] = None
         # window index -> [count, sum]: the simulated-time series.
         self.windows: dict[int, list] = {}
 
@@ -115,7 +119,12 @@ class LogHistogram:
             self.zeros += 1
         else:
             index = self.bucket_index(value)
-            self.buckets[index] = self.buckets.get(index, 0) + 1
+            existing = self.buckets.get(index)
+            if existing is None:
+                self.buckets[index] = 1
+                self._sorted = None  # a new bucket key invalidates the order
+            else:
+                self.buckets[index] = existing + 1
         if window is not None:
             slot = self.windows.get(window)
             if slot is None:
@@ -142,7 +151,9 @@ class LogHistogram:
         seen = self.zeros
         if rank <= seen:
             return 0.0
-        for index in sorted(self.buckets):
+        if self._sorted is None:
+            self._sorted = sorted(self.buckets)
+        for index in self._sorted:
             seen += self.buckets[index]
             if rank <= seen:
                 # Clamp to the exact envelope so e.g. a single-bucket
@@ -181,6 +192,8 @@ class LogHistogram:
             if other.max > self.max:
                 self.max = other.max
         self.zeros += other.zeros
+        if other.buckets:
+            self._sorted = None
         for index, count in other.buckets.items():
             self.buckets[index] = self.buckets.get(index, 0) + count
         for window, (count, total) in other.windows.items():

@@ -21,6 +21,7 @@ from pathlib import Path
 from .clients import run_closed_loop, run_open_loop
 from .metrics import percentile
 from .core import (
+    DataflowSystem,
     EngineConfig,
     FaaSFlowSystem,
     FaultInjector,
@@ -73,6 +74,7 @@ def run_workflow(
     feedback: bool = True,
     fault_rate: float = 0.0,
     max_retries: int = 2,
+    eager_ship: bool = True,
     seed: int = 13,
     trace_out: str | Path | None = None,
     sample_interval: float = 0.25,
@@ -99,8 +101,8 @@ def run_workflow(
     the process-wide ``FAASFLOW_SCHEDULER`` default).  Every summary
     field and record is bit-identical under either scheduler.
     """
-    if engine not in ("worker", "master"):
-        raise ValueError("engine must be 'worker' or 'master'")
+    if engine not in ("worker", "master", "dataflow"):
+        raise ValueError("engine must be 'worker', 'master', or 'dataflow'")
     env = Environment(scheduler=kernel_scheduler)
     cluster = Cluster(
         env,
@@ -132,7 +134,8 @@ def run_workflow(
         else None
     )
     config = EngineConfig(
-        ship_data=ship_data, max_retries=max_retries, tenant=tenant
+        ship_data=ship_data, max_retries=max_retries, tenant=tenant,
+        eager_ship=eager_ship,
     )
     if engine == "master":
         system = HyperFlowServerlessSystem(
@@ -140,7 +143,11 @@ def run_workflow(
         )
         system.register(dag, hash_partition(dag, cluster.worker_names()))
     else:
-        system = FaaSFlowSystem(cluster, config, tracer=tracer, faults=faults)
+        # WorkerSP and DataflowSP share the placement-driven deployment
+        # path (scheduler, quotas, feedback); only the triggering
+        # paradigm behind the deployed sub-graphs differs.
+        system_class = DataflowSystem if engine == "dataflow" else FaaSFlowSystem
+        system = system_class(cluster, config, tracer=tracer, faults=faults)
         scheduler = GraphScheduler(cluster)
         placement, quotas, _ = scheduler.schedule(dag)
         system.deploy(dag, placement, quotas=quotas, prewarm=1 if prewarm else 0)
@@ -330,10 +337,17 @@ def _format_trials(summaries: list[RunSummary]) -> str:
     return "\n".join(lines)
 
 
+_ENGINE_NAMES = {
+    "worker": "FaaSFlow (WorkerSP+FaaStore)",
+    "master": "HyperFlow-serverless (MasterSP)",
+    "dataflow": "DataflowSP (function-level triggering + eager shipping)",
+}
+
+
 def _format_summary(summary: RunSummary) -> str:
     lines = [
         f"workflow            {summary.workflow}",
-        f"engine              {'FaaSFlow (WorkerSP+FaaStore)' if summary.engine == 'worker' else 'HyperFlow-serverless (MasterSP)'}",
+        f"engine              {_ENGINE_NAMES.get(summary.engine, summary.engine)}",
         f"invocations         {summary.invocations} "
         f"({summary.completed} ok, {summary.timeouts} timed out, "
         f"{summary.failures} failed)",
@@ -354,8 +368,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("workflow", help="WDL YAML file or benchmark name")
     parser.add_argument(
-        "--engine", choices=["worker", "master"], default="worker",
-        help="worker = FaaSFlow (default); master = HyperFlow-serverless",
+        "--engine", choices=["worker", "master", "dataflow"], default="worker",
+        help="worker = FaaSFlow (default); master = HyperFlow-serverless; "
+        "dataflow = DataflowSP (function-level dataflow triggering with "
+        "eager data shipping)",
     )
     parser.add_argument("--invocations", type=int, default=10)
     parser.add_argument("--workers", type=int, default=7)
@@ -383,6 +399,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-retries", type=int, default=2,
         help="retry budget per function task (default 2)",
+    )
+    parser.add_argument(
+        "--no-eager-ship", action="store_true",
+        help="with --engine dataflow: trigger-only dataflow (disable "
+        "eager output shipping; the ablation baseline)",
     )
     parser.add_argument(
         "--trials", type=int, default=1, metavar="K",
@@ -455,6 +476,7 @@ def main(argv: list[str] | None = None) -> int:
         feedback=not args.no_feedback,
         fault_rate=args.fault_rate,
         max_retries=args.max_retries,
+        eager_ship=not args.no_eager_ship,
         tenant=args.tenant,
         kernel_scheduler=args.scheduler,
     )

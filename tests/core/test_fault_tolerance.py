@@ -474,3 +474,30 @@ class TestBackoffIntegration:
         assert fast.retries == slow.retries == 2
         # Two retries with delays 0.5 and 1.0 vs zero backoff.
         assert slow.latency == pytest.approx(fast.latency + 1.5, abs=0.05)
+
+
+class TestRetryConfigValidation:
+    """Satellite: jitter without a backoff base is a silent no-op in
+    the delay formula — the config must say so at construction."""
+
+    def test_zero_base_nonzero_jitter_warns(self):
+        with pytest.warns(UserWarning, match="retry_jitter > 0 has no effect"):
+            config = EngineConfig(retry_backoff_base=0.0, retry_jitter=0.5)
+        # Behavior is pinned, not changed: delays stay 0.
+        policy = RetryPolicy.from_config(config)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(5) == 0.0
+
+    def test_positive_base_with_jitter_is_silent(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            EngineConfig(retry_backoff_base=0.2, retry_jitter=0.5)
+
+    def test_zero_jitter_zero_base_is_silent(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            EngineConfig(retry_backoff_base=0.0, retry_jitter=0.0)

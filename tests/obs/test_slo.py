@@ -164,3 +164,36 @@ class TestEndToEnd:
             (r.tenant, r.workflow, r.invocations) for r in reports
         ] == [("acme", "slotest", 3)]
         assert reports[0].met
+
+
+class TestTargetTieBreak:
+    """Satellite: target_for must be deterministic under ties — tenant
+    scope beats workflow scope at equal specificity, and otherwise the
+    first-declared target wins regardless of registration order."""
+
+    def test_tenant_beats_workflow_at_equal_specificity(self):
+        tenant_scoped = SLOTarget(latency_target=1.0, tenant="acme")
+        workflow_scoped = SLOTarget(latency_target=2.0, workflow="genome")
+        forward = SLOTracker([tenant_scoped, workflow_scoped])
+        reverse = SLOTracker([workflow_scoped, tenant_scoped])
+        assert forward.target_for("acme", "genome") is tenant_scoped
+        assert reverse.target_for("acme", "genome") is tenant_scoped
+
+    def test_equal_score_keeps_first_declared(self):
+        first = SLOTarget(latency_target=1.0, tenant="acme")
+        second = SLOTarget(latency_target=2.0, tenant="acme")
+        tracker = SLOTracker([first, second])
+        assert tracker.target_for("acme", "anything") is first
+
+    def test_exact_pair_still_beats_tenant_scope(self):
+        pair = SLOTarget(latency_target=1.0, tenant="acme", workflow="genome")
+        tenant_scoped = SLOTarget(latency_target=2.0, tenant="acme")
+        tracker = SLOTracker([tenant_scoped, pair])
+        assert tracker.target_for("acme", "genome") is pair
+
+    def test_wildcard_default_still_found(self):
+        default = SLOTarget(latency_target=9.0)
+        tracker = SLOTracker(
+            [SLOTarget(latency_target=1.0, tenant="acme"), default]
+        )
+        assert tracker.target_for("other", "genome") is default

@@ -310,3 +310,85 @@ class TestValidateSnapshot:
 
     def test_detects_wrong_type(self):
         assert validate_snapshot({"type": "spans"}) != []
+
+
+class TestQuantileCache:
+    """Regression: ``quantile`` caches the sorted bucket keys; the
+    cache must be invalidated whenever observe/merge can add a bucket,
+    or quantiles silently go stale."""
+
+    def _reference(self, values):
+        fresh = LogHistogram()
+        for v in values:
+            fresh.observe(v)
+        return fresh
+
+    def test_observe_new_bucket_invalidates(self):
+        hist = LogHistogram()
+        for v in (0.5, 2.0):
+            hist.observe(v)
+        assert hist.quantile(99) == self._reference([0.5, 2.0]).quantile(99)
+        # A value far above every existing bucket: with a stale cache
+        # the p99 would still come off the 2.0 bucket.
+        hist.observe(500.0)
+        assert hist.quantile(99) == self._reference(
+            [0.5, 2.0, 500.0]
+        ).quantile(99)
+        assert hist.quantile(99) == 500.0  # clamped to exact max
+
+    def test_observe_existing_bucket_keeps_quantiles_exact(self):
+        hist = LogHistogram()
+        values = [1.0, 1.0, 1.0]
+        for v in values:
+            hist.observe(v)
+        assert hist.quantile(50) == self._reference(values).quantile(50)
+        # Same bucket again: counts change, key set does not; every
+        # quantile must still match a cache-free computation.
+        for _ in range(97):
+            hist.observe(1.0)
+            values.append(1.0)
+        hist.observe(64.0)
+        values.append(64.0)
+        for q in (1, 50, 98, 99, 100):
+            assert hist.quantile(q) == self._reference(values).quantile(q)
+
+    def test_merge_invalidates(self):
+        left = LogHistogram()
+        for v in (0.1, 0.2):
+            left.observe(v)
+        assert left.quantile(100) == 0.2
+        right = LogHistogram()
+        for v in (30.0, 40.0):
+            right.observe(v)
+        left.merge(right)
+        assert left.quantile(100) == 40.0
+        assert left.quantile(50) == self._reference(
+            [0.1, 0.2, 30.0, 40.0]
+        ).quantile(50)
+
+    def test_interleaved_agreement(self):
+        """Any interleaving of observe/quantile/merge agrees with a
+        histogram built from scratch at every step."""
+        hist = LogHistogram()
+        seen = []
+        batches = ([0.05, 0.8], [12.0], [0.8, 250.0], [3.3])
+        for batch in batches:
+            for v in batch:
+                hist.observe(v)
+                seen.append(v)
+            for q in (25, 50, 75, 99):
+                assert hist.quantile(q) == self._reference(seen).quantile(q)
+        other = LogHistogram()
+        for v in (1e4, 2e4):
+            other.observe(v)
+            seen.append(v)
+        hist.merge(other)
+        for q in (25, 50, 75, 99, 100):
+            assert hist.quantile(q) == self._reference(seen).quantile(q)
+
+    def test_empty_merge_preserves_cache_correctness(self):
+        hist = LogHistogram()
+        hist.observe(5.0)
+        assert hist.quantile(50) == 5.0
+        hist.merge(LogHistogram())  # nothing to add
+        assert hist.quantile(50) == 5.0
