@@ -1,0 +1,6 @@
+"""Frozen pre-PR engine trio + state/runtime/clients for A/B benching."""
+
+from .clients import ClosedLoopClient, OpenLoopClient  # noqa: F401
+from .dataflow_engine import DataflowSystem  # noqa: F401
+from .master_engine import HyperFlowServerlessSystem  # noqa: F401
+from .worker_engine import FaaSFlowSystem  # noqa: F401

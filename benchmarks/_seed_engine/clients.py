@@ -1,3 +1,11 @@
+# FROZEN pre-PR copy for the engine-throughput A/B benchmark.
+#
+# Do not edit: this is the seed-side baseline that
+# benchmarks/test_bench_engine.py races the live engines against.
+# Imports of shared substrate (sim kernel, network, faults, policy,
+# metrics) point at the live repro.* modules; the frozen modules
+# (engines, state, runtime, clients) import each other relatively.
+
 """Invocation clients: closed-loop and open-loop load generation.
 
 The paper measures with two client styles (§5.1):
@@ -17,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
-from ..metrics import InvocationRecord
+from repro.metrics import InvocationRecord
 
 __all__ = ["ClosedLoopClient", "OpenLoopClient", "run_closed_loop", "run_open_loop"]
 
@@ -57,7 +65,6 @@ class OpenLoopClient:
         rate_per_minute: float,
         poisson: bool = True,
         seed: int = 13,
-        keep_records: bool = True,
     ):
         if invocations < 1:
             raise ValueError("invocations must be >= 1")
@@ -69,75 +76,31 @@ class OpenLoopClient:
         self.interval = 60.0 / rate_per_minute
         self.poisson = poisson
         self.rng = random.Random(seed)
-        # ``keep_records=False`` folds each finished invocation into
-        # ``status_counts`` instead of retaining it — the only O(served)
-        # client state gone, for million-invocation serving runs whose
-        # ground truth lives in telemetry rollups.
-        self.keep_records = keep_records
         self.records: list[InvocationRecord] = []
-        self.status_counts: dict[str, int] = {}
-        # Completion tracking: a counter plus one drained event, not a
-        # list of every process ever spawned.
-        self._outstanding = 0
-        self._arrivals_done = False
-        self._drained = None
-        self._error: Optional[BaseException] = None
 
     def run(self) -> Generator:
-        """Simulation process: fire arrivals, then wait for stragglers.
-
-        Client-side state is O(in-flight): each invoke process gets a
-        completion callback that decrements an outstanding counter and
-        fires one drained event once arrivals are exhausted — a
-        million-invocation run no longer builds a million-entry
-        ``all_of`` condition.  The callbacks run at exactly the queue
-        entries where the former per-invocation wrapper processes
-        resumed, so ``records`` (content and order) is unchanged.
-        """
+        """Simulation process: fire arrivals, then wait for stragglers."""
         env = self.system.env
-        self._drained = env.event()
+        in_flight = []
         for index in range(self.invocations):
             process = env.process(
-                self.system.invoke(self.workflow),
-                name=f"open:{self.workflow}:{index}",
+                self._tracked_invoke(), name=f"open:{self.workflow}:{index}"
             )
-            self._outstanding += 1
-            process.callbacks.append(self._on_complete)
+            in_flight.append(process)
             delay = (
                 self.rng.expovariate(1.0 / self.interval)
                 if self.poisson
                 else self.interval
             )
             yield env.timeout(delay)
-        self._arrivals_done = True
-        if self._error is None and self._outstanding:
-            yield self._drained
-        if self._error is not None:
-            # An invoke process crashed.  Our callback consumed the
-            # failure (a process whose event has callbacks is considered
-            # handled by the kernel), so re-raise it here — the same
-            # place the old terminal ``all_of`` surfaced it.
-            raise self._error
+        yield env.all_of(in_flight)
         return self.records
 
-    def _on_complete(self, event) -> None:
-        if event.ok:
-            if self.keep_records:
-                self.records.append(event.value)
-            else:
-                status = event.value.status
-                self.status_counts[status] = (
-                    self.status_counts.get(status, 0) + 1
-                )
-        elif self._error is None:
-            self._error = event.value
-        self._outstanding -= 1
-        if (
-            self._outstanding == 0
-            and self._arrivals_done
-            and not self._drained.triggered
-        ):
-            self._drained.succeed()
+    def _tracked_invoke(self) -> Generator:
+        record = yield self.system.env.process(
+            self.system.invoke(self.workflow)
+        )
+        self.records.append(record)
 
 
 def run_closed_loop(

@@ -1,3 +1,11 @@
+# FROZEN pre-PR copy for the engine-throughput A/B benchmark.
+#
+# Do not edit: this is the seed-side baseline that
+# benchmarks/test_bench_engine.py races the live engines against.
+# Imports of shared substrate (sim kernel, network, faults, policy,
+# metrics) point at the live repro.* modules; the frozen modules
+# (engines, state, runtime, clients) import each other relatively.
+
 """HyperFlow-serverless: the MasterSP baseline (paper §2.2-2.3).
 
 A single central workflow engine holds every function's state.  For
@@ -9,33 +17,25 @@ state — again in the serialized loop — before checking successors.
 The two network hops per function and the master's serialization are
 exactly the scheduling overhead WorkerSP removes; keeping them explicit
 here is what lets Fig. 4 / Fig. 11 be regenerated.
-
-Like the distributed engines (ISSUE 10), registration compiles the
-workflow once into per-function dispatch entries (:class:`_MasterFn`):
-dense indices, pre-resolved worker nodes, and precomputed process
-names/tags.  Per-invocation state is two flat arrays local to the
-invoke process — created in O(functions), freed by the invoke's own
-exit — so the master's memory is O(in-flight), and the hot path does
-no DAG walks, placement lookups, or string formatting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..dag import WorkflowDAG, critical_path
-from ..metrics import (
+from repro.dag import WorkflowDAG, critical_path
+from repro.metrics import (
     InvocationRecord,
     InvocationStatus,
     MetricsCollector,
 )
-from ..obs.spans import SpanKind
-from ..obs.telemetry import record_invocation_metrics
-from ..sim import Cluster, Node, Resource
-from .config import EngineConfig
-from .faastore import DataPolicy, RemoteStorePolicy
-from .faults import (
+from repro.obs.spans import SpanKind
+from repro.obs.telemetry import record_invocation_metrics
+from repro.sim import Cluster, Node, Resource
+from repro.core.config import EngineConfig
+from repro.core.faastore import DataPolicy, RemoteStorePolicy
+from repro.core.faults import (
     CancelCause,
     CancelKind,
     FaultInjector,
@@ -44,35 +44,16 @@ from .faults import (
     TaskCancelled,
 )
 from .runtime import FunctionRuntime
-from .switching import is_skipped
+from repro.core.switching import is_skipped
 from .state import (
     InvocationID,
+    InvocationState,
     Placement,
     new_invocation_id,
 )
-from .tracing import Kind, Tracer
+from repro.core.tracing import Kind, Tracer
 
 __all__ = ["HyperFlowServerlessSystem"]
-
-# Sentinel carried by an invocation's ``done`` event when the
-# execution-timeout watchdog (not task completion or failure) fired it.
-_TIMED_OUT = object()
-
-
-class _MasterFn:
-    """Compiled dispatch entry for one function of a registered workflow."""
-
-    __slots__ = (
-        "name",
-        "index",
-        "is_virtual",
-        "worker",  # pre-resolved worker Node (None for virtual nodes)
-        "preds_count",
-        "spawn_name",
-        "assign_tag",
-        "result_tag",
-        "successors",  # tuple of _MasterFn, DAG order
-    )
 
 
 @dataclass
@@ -80,10 +61,6 @@ class _RegisteredWorkflow:
     dag: WorkflowDAG
     placement: Placement
     critical_exec: float
-    # Compiled at register() time:
-    fns: dict = field(default_factory=dict)  # name -> _MasterFn
-    sources: tuple = ()
-    total: int = 0
 
 
 def static_critical_exec(dag: WorkflowDAG) -> float:
@@ -138,44 +115,16 @@ class HyperFlowServerlessSystem:
         self.events_handled = 0
         self.busy_time = 0.0
         self.node_crashes = 0
-        # Serving-lifecycle gauges (see the soak tests): current and
-        # peak concurrent invocations.
-        self.in_flight = 0
-        self.peak_in_flight = 0
 
     # -- registration -----------------------------------------------------
     def register(self, dag: WorkflowDAG, placement: Placement) -> None:
         dag.validate()
         placement.validate_against(dag)
-        registered = _RegisteredWorkflow(
+        self._workflows[dag.name] = _RegisteredWorkflow(
             dag=dag,
             placement=placement,
             critical_exec=static_critical_exec(dag),
         )
-        names = dag.node_names
-        fns: dict[str, _MasterFn] = {}
-        for index, name in enumerate(names):
-            node_meta = dag.node(name)
-            fn = _MasterFn()
-            fn.name = name
-            fn.index = index
-            fn.is_virtual = node_meta.is_virtual
-            fn.worker = (
-                None
-                if node_meta.is_virtual
-                else self.cluster.node(placement.node_of(name))
-            )
-            fn.preds_count = len(dag.predecessors(name))
-            fn.spawn_name = f"master:{dag.name}:{name}"
-            fn.assign_tag = f"assign:{name}"
-            fn.result_tag = f"result:{name}"
-            fns[name] = fn
-        for name, fn in fns.items():
-            fn.successors = tuple(fns[s] for s in dag.successors(name))
-        registered.fns = fns
-        registered.sources = tuple(fns[s] for s in dag.sources())
-        registered.total = len(names)
-        self._workflows[dag.name] = registered
 
     def registered(self, workflow: str) -> _RegisteredWorkflow:
         try:
@@ -188,71 +137,56 @@ class HyperFlowServerlessSystem:
         """Simulation process: one end-to-end invocation.
 
         Returns the :class:`InvocationRecord` (also stored in metrics).
-        Per-invocation state is two arrays owned by this process —
-        nothing is retained after the record is finalized, so the
-        master's live state is O(in-flight invocations).
         """
         registered = self.registered(workflow)
+        dag, placement = registered.dag, registered.placement
         invocation_id = new_invocation_id()
-        env = self.env
         record = InvocationRecord(
             workflow=workflow,
             invocation_id=invocation_id,
             mode=self.mode,
-            started_at=env.now,
+            started_at=self.env.now,
             critical_path_exec=registered.critical_exec,
         )
-        preds_done = [0] * registered.total
-        triggered = bytearray(registered.total)
-        # done fires on the last completion *or* the first failure;
-        # failure[0] records the failing error so the failure outcome
-        # wins when both land in the same timestep.
-        done = env.event()
-        failure: list = [None]
-        remaining = [registered.total]
-        shared = (
-            registered, invocation_id, preds_done, triggered,
-            remaining, done, failure, record,
-        )
-        self.in_flight += 1
-        if self.in_flight > self.peak_in_flight:
-            self.peak_in_flight = self.in_flight
+        state = InvocationState(invocation_id)
+        all_done = self.env.event()
+        failed = self.env.event()
+        remaining = {"count": len(dag.node_names)}
 
-        if self.tracer is not None:
-            self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        def spawn(function: str) -> None:
+            # Task coordinators live on the master, not on any worker:
+            # they survive worker crashes (the runtime retries under
+            # them) and die only with the invocation.
+            proc = self.env.process(
+                self._run_task(
+                    dag, placement, invocation_id, function, state,
+                    remaining, all_done, failed, record,
+                ),
+                name=f"master:{workflow}:{function}",
+            )
+            self.registry.register(proc, invocation_id)
+
+        self.trace(Kind.INVOCATION_START, workflow, invocation_id)
         if self.spans.enabled:
             self.spans.start_invocation(
                 invocation_id, workflow=workflow, mode=self.mode
             )
-        for fn in registered.sources:
-            triggered[fn.index] = 1
-            # Task coordinators live on the master, not on any worker:
-            # they survive worker crashes (the runtime retries under
-            # them) and die only with the invocation.
-            proc = env.process(self._run_task(fn, shared), name=fn.spawn_name)
-            self.registry.register(proc, invocation_id)
+        for source in dag.sources():
+            state.state_of(source).triggered = True
+            spawn(source)
 
-        timeout = env.timeout(self.config.execution_timeout)
-
-        def _deadline(_event, _done=done):
-            # Watchdog callback: a pending invocation times out at the
-            # deadline.  Firing ``done`` with the sentinel lets this
-            # process wait on one event instead of an any_of condition.
-            if not _done.triggered:
-                _done.succeed(_TIMED_OUT)
-
-        timeout.callbacks.append(_deadline)
-        yield done
+        timeout = self.env.timeout(self.config.execution_timeout)
+        yield self.env.any_of([all_done, failed, timeout])
         # Failure first: if the last task's completion and a failure
         # land in the same timestep, the invocation failed.
-        if failure[0] is not None:
+        if failed.triggered:
             record.status = InvocationStatus.FAILED
-            record.finished_at = env.now
-        elif done.value is _TIMED_OUT:
+            record.finished_at = self.env.now
+        elif all_done.triggered:
+            record.finished_at = self.env.now
+        else:
             record.status = InvocationStatus.TIMEOUT
             record.finished_at = record.started_at + self.config.execution_timeout
-        else:
-            record.finished_at = env.now
         if not timeout.processed:
             # Don't leave a live 60-second timer per finished invocation
             # in the kernel heap.
@@ -268,33 +202,20 @@ class HyperFlowServerlessSystem:
                     detail=f"{cancelled} process(es)",
                 )
         self.registry.release_invocation(invocation_id)
-        self.policy.cleanup_invocation(registered.dag, invocation_id)
+        self.policy.cleanup_invocation(dag, invocation_id)
         self.metrics.record_invocation(record)
         if self.telemetry.enabled:
             record_invocation_metrics(
-                self.telemetry, record, self.tenant_of(workflow), self.mode
+                self.telemetry, record, self.config.tenant, self.mode
             )
-        if self.tracer is not None:
-            self.trace(
-                Kind.INVOCATION_END, workflow, invocation_id,
-                detail=record.status,
-            )
+        self.trace(
+            Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
+        )
         if self.spans.enabled:
             root = self.spans.root_of(invocation_id)
             if root is not None:
                 self.spans.end(root, status=record.status)
-        self.in_flight -= 1
         return record
-
-    def tenant_of(self, workflow: str) -> str:
-        """Telemetry tenant label for one workflow's invocations."""
-        tenants = getattr(self, "_tenants", None)
-        if tenants is not None:
-            return tenants.get(workflow, self.config.tenant)
-        return self.config.tenant
-
-    def set_tenants(self, tenants: dict[str, str]) -> None:
-        self._tenants = dict(tenants)
 
     def trace(self, kind: str, workflow: str, invocation_id: InvocationID,
               function: str = "", node: str = "", detail: str = "") -> None:
@@ -315,33 +236,39 @@ class HyperFlowServerlessSystem:
             self.events_handled += 1
             self.busy_time += self.config.master_process_time
 
-    def _run_task(self, fn: _MasterFn, shared: tuple) -> Generator:
-        (
-            registered, invocation_id, preds_done, triggered,
-            remaining, done, failure, record,
-        ) = shared
-        dag = registered.dag
+    def _run_task(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        invocation_id: InvocationID,
+        function: str,
+        state: InvocationState,
+        remaining: dict,
+        all_done,
+        failed,
+        record: InvocationRecord,
+    ) -> Generator:
+        node_meta = dag.node(function)
         skipped = (
             self.config.evaluate_switches
-            and not fn.is_virtual
-            and is_skipped(dag, fn.name, invocation_id)
+            and not node_meta.is_virtual
+            and is_skipped(dag, function, invocation_id)
         )
         # Stage 1: the master engine decides and dispatches the trigger.
         yield from self._engine_step()
-        if not fn.is_virtual and not skipped:
-            worker = fn.worker
-            if self.tracer is not None:
-                self.trace(
-                    Kind.TASK_ASSIGNED, dag.name, invocation_id,
-                    function=fn.name, node=worker.name,
-                )
+        if not node_meta.is_virtual and not skipped:
+            worker = self.cluster.node(placement.node_of(function))
+            self.trace(
+                Kind.TASK_ASSIGNED, dag.name, invocation_id,
+                function=function, node=worker.name,
+            )
             self.messages_sent += 1
             assign_start = self.env.now
             yield self.cluster.network.message(
                 self.master.nic,
                 worker.nic,
                 self.config.assign_message_size,
-                tag=fn.assign_tag,
+                tag=f"assign:{function}",
             )
             if self.spans.enabled:
                 self.spans.record(
@@ -350,37 +277,34 @@ class HyperFlowServerlessSystem:
                     self.env.now,
                     workflow=dag.name,
                     invocation_id=invocation_id,
-                    function=fn.name,
+                    function=function,
                     node=self.master.name,
                     parent=self.spans.root_of(invocation_id),
                     role="assign",
                     dst=worker.name,
                 )
-            # Stage 2: the worker executes the function task, inline in
-            # this coordinator process.  The runtime node-binds the
-            # coordinator for the duration of the attempt ladder —
-            # MasterSP recovery happens *inside* that ladder, so a node
-            # crash interrupts the attempt, which backs off and retries
-            # against the worker's (offline, queueing) container pool.
-            # Once execution is over the coordinator re-binds to the
-            # master: it must survive worker crashes from here on.
-            me = self.env.active_process
+            # Stage 2: the worker executes the function task.  The
+            # execute process is registered invocation-bound (NOT
+            # node-bound): MasterSP recovery happens *inside* the
+            # runtime's retry ladder, so a node crash must interrupt
+            # only the instances, which then retry against the worker's
+            # (offline, queueing) container pool.
+            execute_proc = self.env.process(
+                self.runtime.execute(
+                    dag, placement, invocation_id, function,
+                    version=placement.version,
+                ),
+                name=f"execute:{worker.name}:{function}",
+            )
+            self.registry.register(execute_proc, invocation_id)
             try:
-                result = yield from self.runtime.execute(
-                    dag, registered.placement, invocation_id, fn.name,
-                    version=registered.placement.version,
-                )
+                result = yield execute_proc
             except FunctionFailure as error:
-                if failure[0] is None:
-                    failure[0] = error
-                    if not done.triggered:
-                        done.succeed()
+                if not failed.triggered:
+                    failed.succeed(error)
                 return
             except TaskCancelled:
                 return
-            finally:
-                if me is not None and me.is_alive:
-                    self.registry.register(me, invocation_id, node="")
             if result is None:
                 return  # cancelled mid-flight; the canceller owns cleanup
             record.cold_starts += result.cold_starts
@@ -392,7 +316,7 @@ class HyperFlowServerlessSystem:
                 worker.nic,
                 self.master.nic,
                 self.config.result_message_size,
-                tag=fn.result_tag,
+                tag=f"result:{function}",
             )
             if self.spans.enabled:
                 self.spans.record(
@@ -401,7 +325,7 @@ class HyperFlowServerlessSystem:
                     self.env.now,
                     workflow=dag.name,
                     invocation_id=invocation_id,
-                    function=fn.name,
+                    function=function,
                     node=worker.name,
                     parent=self.spans.root_of(invocation_id),
                     role="result",
@@ -409,26 +333,27 @@ class HyperFlowServerlessSystem:
                 )
         # Completion handling in the serialized engine loop.
         yield from self._engine_step()
-        if self.tracer is not None:
-            self.trace(
-                Kind.FUNCTION_EXECUTED, dag.name, invocation_id,
-                function=fn.name,
-                node="" if fn.worker is None else fn.worker.name,
-            )
-        remaining[0] -= 1
-        if remaining[0] == 0:
-            if failure[0] is None and not done.triggered:
-                done.succeed()
+        state.state_of(function).executed = True
+        self.trace(
+            Kind.FUNCTION_EXECUTED, dag.name, invocation_id,
+            function=function,
+            node="" if node_meta.is_virtual else placement.node_of(function),
+        )
+        remaining["count"] -= 1
+        if remaining["count"] == 0 and not all_done.triggered:
+            all_done.succeed()
             return
-        for successor in fn.successors:
-            index = successor.index
-            count = preds_done[index] + 1
-            preds_done[index] = count
-            if not triggered[index] and count >= successor.preds_count:
-                triggered[index] = 1
+        for successor in dag.successors(function):
+            successor_state = state.state_of(successor)
+            successor_state.mark_predecessor_done()
+            if successor_state.ready(len(dag.predecessors(successor))):
+                successor_state.triggered = True
                 proc = self.env.process(
-                    self._run_task(successor, shared),
-                    name=successor.spawn_name,
+                    self._run_task(
+                        dag, placement, invocation_id, successor, state,
+                        remaining, all_done, failed, record,
+                    ),
+                    name=f"master:{dag.name}:{successor}",
                 )
                 self.registry.register(proc, invocation_id)
 
@@ -436,7 +361,7 @@ class HyperFlowServerlessSystem:
     def on_node_crash(self, node_name: str) -> None:
         """MasterSP recovery: runtime-level retry.
 
-        The master survives worker crashes, so the in-flight attempts
+        The master survives worker crashes, so the in-flight instances
         are killed with the *retryable* NODE_CRASH cause; their retry
         ladders back off and re-acquire containers from the worker's
         pool, which queues requests until the node recovers.

@@ -1,3 +1,11 @@
+# FROZEN pre-PR copy for the engine-throughput A/B benchmark.
+#
+# Do not edit: this is the seed-side baseline that
+# benchmarks/test_bench_engine.py races the live engines against.
+# Imports of shared substrate (sim kernel, network, faults, policy,
+# metrics) point at the live repro.* modules; the frozen modules
+# (engines, state, runtime, clients) import each other relatively.
+
 """Function task execution on a worker node.
 
 Both schedule patterns run function tasks the same way (what differs is
@@ -19,13 +27,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
-from ..dag import WorkflowDAG
-from ..obs.spans import SpanKind
-from ..sim import Cluster, ContainerState, Node
-from ..sim.kernel import Interrupt
-from .config import EngineConfig
-from .faastore import DataPolicy
-from .faults import (
+from repro.dag import WorkflowDAG
+from repro.obs.spans import SpanKind
+from repro.sim import Cluster, ContainerState, Node
+from repro.sim.kernel import Interrupt
+from repro.core.config import EngineConfig
+from repro.core.faastore import DataPolicy
+from repro.core.faults import (
     CancelCause,
     CancelKind,
     FaultInjector,
@@ -38,10 +46,6 @@ from .faults import (
 from .state import InvocationID, Placement
 
 __all__ = ["FunctionRuntime", "ExecutionResult"]
-
-
-def _consume_failure(event) -> None:
-    """Sink callback for a deliberately abandoned instance process."""
 
 
 @dataclass
@@ -125,41 +129,21 @@ class FunctionRuntime:
                 instances=instances,
             )
             spans.set_context(invocation_id, function, fn_span)
-        inline = instances == 1
-        if inline:
-            # Single-instance functions (the overwhelmingly common case)
-            # run the retry ladder inline in this process: no instance
-            # process and no condition event per execution.  Node-bind
-            # ourselves so node crashes interrupt the inlined attempt
-            # exactly like they interrupted the instance process.
-            instance_procs: list = []
-            me = self.env.active_process
-            if self.registry is not None and me is not None:
-                self.registry.register(me, invocation_id, node=worker.name)
-        else:
-            instance_procs = [
-                self.env.process(
-                    self._run_instance_with_retries(
-                        dag, placement, invocation_id, function, worker,
-                        version, index, instances, result,
-                    ),
-                    name=f"{function}#{index}",
-                )
-                for index in range(instances)
-            ]
-            if self.registry is not None:
-                for proc in instance_procs:
-                    self.registry.register(
-                        proc, invocation_id, node=worker.name
-                    )
-        try:
-            if inline:
-                yield from self._run_instance_with_retries(
+        instance_procs = [
+            self.env.process(
+                self._run_instance_with_retries(
                     dag, placement, invocation_id, function, worker,
-                    version, 0, instances, result,
-                )
-            else:
-                yield self.env.all_of(instance_procs)
+                    version, index, instances, result,
+                ),
+                name=f"{function}#{index}",
+            )
+            for index in range(instances)
+        ]
+        if self.registry is not None:
+            for proc in instance_procs:
+                self.registry.register(proc, invocation_id, node=worker.name)
+        try:
+            yield self.env.all_of(instance_procs)
         except FunctionFailure:
             # One instance exhausted its retries: the function is doomed,
             # so stop the surviving siblings from burning CPU/containers.
@@ -219,14 +203,6 @@ class FunctionRuntime:
         for proc in instance_procs:
             if proc.is_alive:
                 proc.interrupt(cause)
-                if not proc.callbacks:
-                    # Nobody waits on this instance any more (the
-                    # single-instance fast path detached when execute()
-                    # itself was interrupted): consume its eventual
-                    # cancellation failure so the kernel doesn't surface
-                    # an unhandled crash.  The multi-instance path keeps
-                    # its all_of subscribed, which did the same job.
-                    proc.callbacks.append(_consume_failure)
                 cancelled += 1
         return cancelled
 
@@ -252,18 +228,10 @@ class FunctionRuntime:
                         version, index, instances, result, attempt,
                     )
                 else:
-                    # The interrupt-to-TaskCancelled conversion that
-                    # _attempt performs is inlined here so the common
-                    # (untimed) path runs one generator frame shallower.
-                    try:
-                        yield from self._run_instance(
-                            dag, placement, invocation_id, function, worker,
-                            version, index, instances, result, attempt,
-                        )
-                    except Interrupt as interrupt:
-                        raise TaskCancelled(
-                            cause_of_interrupt(interrupt)
-                        ) from None
+                    yield from self._attempt(
+                        dag, placement, invocation_id, function, worker,
+                        version, index, instances, result, attempt,
+                    )
                 return
             except FunctionFailure as failure:
                 cause_kind = "crash"

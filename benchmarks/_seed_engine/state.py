@@ -1,0 +1,223 @@
+# FROZEN pre-PR copy for the engine-throughput A/B benchmark.
+#
+# Do not edit: this is the seed-side baseline that
+# benchmarks/test_bench_engine.py races the live engines against.
+# Imports of shared substrate (sim kernel, network, faults, policy,
+# metrics) point at the live repro.* modules; the frozen modules
+# (engines, state, runtime, clients) import each other relatively.
+
+"""Workflow state structures (paper §3.1, Fig. 6).
+
+Each worker engine maintains a *Workflow* structure per workflow it
+hosts a sub-graph of: *FunctionInfo* (static metadata — predecessors
+count, successor locations) plus per-invocation *State* (how many
+predecessors have completed, whether the function has executed).  The
+MasterSP baseline reuses the same structures, simply holding the whole
+graph in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dag import DAGError, WorkflowDAG
+
+__all__ = [
+    "InvocationID",
+    "FunctionInfo",
+    "FunctionState",
+    "InvocationState",
+    "WorkflowStructure",
+    "Placement",
+    "PlacementError",
+    "new_invocation_id",
+    "reset_invocation_ids",
+]
+
+InvocationID = int
+
+# The seed and live engines must draw from ONE id sequence so an A/B
+# run produces directly comparable records; delegate to the live module.
+from repro.core.state import new_invocation_id, reset_invocation_ids  # noqa: E402
+
+
+class PlacementError(ValueError):
+    """Inconsistent function-to-worker placement."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where each function of a workflow runs (partition result).
+
+    Maps every node name (virtual nodes included — they are bookkept by
+    the engine owning their step) to a worker node name.
+    """
+
+    workflow: str
+    assignment: dict[str, str]
+    version: int = 1
+
+    def node_of(self, function: str) -> str:
+        try:
+            return self.assignment[function]
+        except KeyError:
+            raise PlacementError(
+                f"function {function!r} has no placement in {self.workflow!r}"
+            ) from None
+
+    def functions_on(self, worker: str) -> list[str]:
+        return [f for f, w in self.assignment.items() if w == worker]
+
+    def workers(self) -> list[str]:
+        return sorted(set(self.assignment.values()))
+
+    def colocated(self, fn_a: str, fn_b: str) -> bool:
+        return self.node_of(fn_a) == self.node_of(fn_b)
+
+    def validate_against(self, dag: WorkflowDAG) -> None:
+        missing = [n for n in dag.node_names if n not in self.assignment]
+        if missing:
+            raise PlacementError(
+                f"placement for {self.workflow!r} misses nodes: {missing}"
+            )
+
+    def with_version(self, version: int) -> "Placement":
+        return Placement(self.workflow, dict(self.assignment), version)
+
+
+@dataclass
+class FunctionInfo:
+    """Static metadata the engine needs to trigger one function."""
+
+    name: str
+    predecessors_count: int
+    successors: list[str]
+    successor_locations: dict[str, str]  # successor -> worker node name
+    is_virtual: bool
+    service_time: float
+    memory: float
+    output_size: float
+    map_factor: float
+
+    @classmethod
+    def from_dag(
+        cls, dag: WorkflowDAG, placement: Placement, name: str
+    ) -> "FunctionInfo":
+        node = dag.node(name)
+        successors = dag.successors(name)
+        return cls(
+            name=name,
+            predecessors_count=len(dag.predecessors(name)),
+            successors=successors,
+            successor_locations={s: placement.node_of(s) for s in successors},
+            is_virtual=node.is_virtual,
+            service_time=node.service_time,
+            memory=node.memory,
+            output_size=node.output_size,
+            map_factor=node.map_factor,
+        )
+
+
+@dataclass
+class FunctionState:
+    """Per-invocation execution state of one function."""
+
+    predecessors_done: int = 0
+    triggered: bool = False
+    executed: bool = False
+
+    def mark_predecessor_done(self) -> None:
+        self.predecessors_done += 1
+
+    def ready(self, predecessors_count: int) -> bool:
+        return (
+            not self.triggered
+            and self.predecessors_done >= predecessors_count
+        )
+
+
+@dataclass
+class InvocationState:
+    """All function states of one invocation within one engine."""
+
+    invocation_id: InvocationID
+    functions: dict[str, FunctionState] = field(default_factory=dict)
+
+    def state_of(self, function: str) -> FunctionState:
+        state = self.functions.get(function)
+        if state is None:
+            state = FunctionState()
+            self.functions[function] = state
+        return state
+
+    def all_executed(self, names: list[str]) -> bool:
+        return all(
+            self.functions.get(n) is not None and self.functions[n].executed
+            for n in names
+        )
+
+
+class WorkflowStructure:
+    """The paper's per-worker *Workflow* structure.
+
+    Holds *FunctionInfo* for the functions this engine owns and *State*
+    per live invocation.  The engine releases an invocation's *State* at
+    the end of the invocation (§4.2.1), and the whole structure is
+    removed when its sub-graph version is retired.
+    """
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        placement: Placement,
+        local_functions: list[str],
+        version: int = 1,
+    ):
+        placement.validate_against(dag)
+        unknown = [f for f in local_functions if not dag.has_node(f)]
+        if unknown:
+            raise DAGError(f"unknown local functions: {unknown}")
+        self.workflow = dag.name
+        self.dag = dag
+        self.placement = placement
+        self.version = version
+        self.function_info: dict[str, FunctionInfo] = {
+            name: FunctionInfo.from_dag(dag, placement, name)
+            for name in local_functions
+        }
+        self._invocations: dict[InvocationID, InvocationState] = {}
+
+    @property
+    def local_functions(self) -> list[str]:
+        return list(self.function_info)
+
+    def owns(self, function: str) -> bool:
+        return function in self.function_info
+
+    def info(self, function: str) -> FunctionInfo:
+        try:
+            return self.function_info[function]
+        except KeyError:
+            raise DAGError(
+                f"function {function!r} is not local to this engine"
+            ) from None
+
+    def invocation(self, invocation_id: InvocationID) -> InvocationState:
+        state = self._invocations.get(invocation_id)
+        if state is None:
+            state = InvocationState(invocation_id)
+            self._invocations[invocation_id] = state
+        return state
+
+    def release_invocation(self, invocation_id: InvocationID) -> None:
+        """Free the *State* object at the end of an invocation (§4.2.1)."""
+        self._invocations.pop(invocation_id, None)
+
+    def invocation_items(self) -> list[tuple[InvocationID, InvocationState]]:
+        """Snapshot of the live (invocation_id, state) pairs."""
+        return list(self._invocations.items())
+
+    @property
+    def live_invocations(self) -> int:
+        return len(self._invocations)

@@ -102,6 +102,19 @@ class EngineConfig:
     # SLO label only — no scheduling behavior depends on it.
     tenant: str = "default"
 
+    # Batched control plane (WorkerSP/DataflowSP): coalesce the control
+    # messages one engine step emits toward the same destination into a
+    # single network transfer and a single handler wakeup.  Off by
+    # default — the default event sequence is pinned bit-identically by
+    # BENCH_engine.json's A/B harness, while batched mode *diverges*
+    # (documented in API.md "Serving throughput" and pinned by test):
+    # the coalesced transfer carries the summed payload and the whole
+    # batch pays one engine step instead of one per message, so
+    # timestamps shift slightly and per-step counters drop.  MasterSP is
+    # structurally unaffected: its serialized assignment loop staggers
+    # dispatches so no two same-destination messages share a step.
+    batch_control: bool = False
+
     def __post_init__(self) -> None:
         for attr in (
             "master_process_time",

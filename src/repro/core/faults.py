@@ -330,7 +330,10 @@ class ProcessRegistry:
 
     def register(self, process: Process, invocation_id: int, node: str = "") -> Process:
         if process.is_alive:
-            self._by_invocation.setdefault(invocation_id, {})[process] = node
+            procs = self._by_invocation.get(invocation_id)
+            if procs is None:
+                procs = self._by_invocation[invocation_id] = {}
+            procs[process] = node
         return process
 
     def live(self, invocation_id: int) -> list[Process]:

@@ -8,12 +8,26 @@ message over a worker-to-worker TCP connection.  No task assignment
 ever crosses the network — the master only partitions graphs and
 (acting as the client) receives the final execution state from the
 sink functions' workers.
+
+Serving-throughput design (ISSUE 10): deployment compiles each
+``(workflow, version)`` sub-graph into a per-engine dispatch table
+(:class:`_FnDispatch`) — dense function indices, pre-resolved successor
+engines, and precomputed process names — so the per-invocation hot path
+does no string formatting, no placement lookups, and no per-function
+state allocation (state lives in :class:`CompiledInvocation` arrays).
+A live triggered-not-executed index keeps crash collection O(in-flight)
+and invocation state is retired the moment the invocation completes, so
+engine memory tracks concurrency, not history.  With
+``EngineConfig.batch_control`` the control messages emitted by one
+engine step coalesce per destination into a single transfer and a
+single remote engine wakeup (documented divergence; default off keeps
+the frozen-seed event sequence bit-identical).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator, Optional, Sequence
 
 from ..dag import WorkflowDAG
 from ..metrics import (
@@ -38,6 +52,8 @@ from .master_engine import static_critical_exec
 from .runtime import FunctionRuntime
 from .switching import is_skipped
 from .state import (
+    EXECUTED,
+    TRIGGERED,
     InvocationID,
     Placement,
     WorkflowStructure,
@@ -47,16 +63,37 @@ from .tracing import Kind, Tracer
 
 __all__ = ["WorkerEngine", "FaaSFlowSystem"]
 
+# Sentinel value carried by ``_InvocationContext.done`` when the
+# execution-timeout watchdog (not a sink report or failure) fired it.
+_TIMED_OUT = object()
 
-@dataclass
+
 class _InvocationContext:
-    """Client-side bookkeeping for one in-flight invocation."""
+    """Client-side bookkeeping for one in-flight invocation.
 
-    record: InvocationRecord
-    version: int
-    sinks_remaining: int
-    all_done: object  # kernel Event
-    failed: object = None  # kernel Event
+    ``done`` is a single kernel event: it fires on the last sink report
+    *or* on the first failure (``failed`` records the failing function).
+    The invoke process checks ``failed`` before completion, so when both
+    land in the same timestep the failure wins — same semantics as the
+    former two-event scheme with one event fewer per invocation.
+    """
+
+    __slots__ = ("record", "version", "sinks_remaining", "done", "failed")
+
+    def __init__(self, record, version, sinks_remaining, done):
+        self.record = record
+        self.version = version
+        self.sinks_remaining = sinks_remaining
+        self.done = done
+        self.failed: Optional[str] = None
+
+    def _deadline(self, _event) -> None:
+        # Watchdog-timer callback: an invocation still pending at the
+        # deadline times out.  Firing ``done`` with the sentinel lets
+        # the invoke process wait on one event instead of a two-event
+        # any_of condition.
+        if not self.done.triggered:
+            self.done.succeed(_TIMED_OUT)
 
 
 @dataclass
@@ -65,10 +102,59 @@ class _DeployedWorkflow:
     placement: Placement
     critical_exec: float
     live_invocations: int = 0
+    # Compiled at deploy time so invoke() does no DAG or placement walks:
+    # (source name, its engine, precomputed send-process name) triples,
+    # the sink count, and every engine-local structure of this version.
+    sources: list = field(default_factory=list)
+    sink_count: int = 0
+    structures: list = field(default_factory=list)
+
+
+class _FnDispatch:
+    """Compiled per-engine dispatch entry for one local function.
+
+    Everything the hot path needs, resolved once at deploy time:
+    dense index, trigger metadata, successor fan-out with pre-resolved
+    remote engine references, and the process-name strings that were
+    previously f-formatted on every spawn.
+    """
+
+    __slots__ = (
+        "name",
+        "index",
+        "info",
+        "preds_count",
+        "is_virtual",
+        "run_name",
+        "sink_name",
+        "sink_tag",
+        "fail_tag",
+        # DAG-ordered (remote engine or None, destination structure,
+        # destination dispatch entry, process name, message tag).
+        # Resolved lazily by :meth:`_link_entry` on first propagation,
+        # once every engine of the deployment has compiled its table.
+        "succ_entries",
+        # batch_control mode: destinations with exactly one successor
+        # (same tuples as ``succ_entries``) ...
+        "succ_singles",
+        # ... and multi-successor destinations coalesced into one
+        # transfer: (remote engine or None, destination structure,
+        # destination entries, names, joined names, process name, tag).
+        "succ_batches",
+        # DataflowSP eager shipping, precompiled; None for WorkerSP (and
+        # for producers with nothing to ship).
+        "ship_plan",
+    )
 
 
 class WorkerEngine:
     """The decentralized engine on one worker node."""
+
+    # Spawn-name prefix for trigger handlers; DataflowSP overrides.
+    _run_prefix = "worker"
+    _local_notify_prefix = "rpc"
+    _remote_notify_prefix = "sync"
+    _state_tag_prefix = "state"
 
     def __init__(self, system: "FaaSFlowSystem", node: Node):
         self.system = system
@@ -77,6 +163,11 @@ class WorkerEngine:
         self._lock = Resource(self.env, capacity=1)
         # (workflow, version) -> structure for the local sub-graph.
         self._structures: dict[tuple[str, int], WorkflowStructure] = {}
+        # (workflow, version) -> (structure, name -> _FnDispatch).
+        self._compiled: dict[
+            tuple[str, int],
+            tuple[WorkflowStructure, dict[str, _FnDispatch]],
+        ] = {}
         self.states_synced = 0  # cross-worker state messages received
         self.events_handled = 0  # engine-loop steps executed
         self.busy_time = 0.0  # seconds the engine loop was occupied
@@ -89,11 +180,107 @@ class WorkerEngine:
 
     # -- deployment ---------------------------------------------------------
     def deploy(self, structure: WorkflowStructure) -> None:
-        self._structures[(structure.workflow, structure.version)] = structure
+        key = (structure.workflow, structure.version)
+        self._structures[key] = structure
+        self._compiled[key] = (structure, self._compile(structure))
+
+    def _compile(
+        self, structure: WorkflowStructure
+    ) -> dict[str, _FnDispatch]:
+        """Build the indexed dispatch table for one deployed sub-graph."""
+        node_name = self.node.name
+        entries: dict[str, _FnDispatch] = {}
+        for index, name in enumerate(structure.local_names):
+            entry = _FnDispatch()
+            entry.name = name
+            entry.index = index
+            entry.info = structure.infos[index]
+            entry.preds_count = structure.preds_counts[index]
+            entry.is_virtual = structure.virtual_flags[index]
+            entry.run_name = f"{self._run_prefix}:{node_name}:{name}"
+            entry.sink_name = f"sink-report:{name}"
+            entry.sink_tag = f"sink:{name}"
+            entry.fail_tag = f"failure:{name}"
+            entry.ship_plan = None
+            # Successor fan-out is linked on first propagation: the
+            # destination dispatch tables may not exist yet while this
+            # engine's sub-graph is being deployed.
+            entry.succ_entries = None
+            entry.succ_singles = None
+            entry.succ_batches = None
+            entries[name] = entry
+        return entries
+
+    def _link_entry(
+        self, structure: WorkflowStructure, entry: _FnDispatch
+    ) -> None:
+        """Resolve one function's fan-out to destination dispatch refs.
+
+        Runs once per (deployment, function), after which propagation
+        needs no dict lookups at all: each successor is a pre-resolved
+        (engine, structure, dispatch entry) triple with its process name
+        and wire tag already formatted.
+        """
+        key = (structure.workflow, structure.version)
+        engines = self.system.engines
+        node_name = self.node.name
+        plain = []
+        groups: dict[str, list] = {}
+        for successor, target in structure.successor_targets[entry.index]:
+            if target == node_name:
+                remote = None
+                dest_structure, dest_entries = self._compiled[key]
+                prefix = self._local_notify_prefix
+            else:
+                remote = engines[target]
+                dest_structure, dest_entries = remote._compiled[key]
+                prefix = self._remote_notify_prefix
+            item = (
+                remote,
+                dest_structure,
+                dest_entries[successor],
+                f"{prefix}:{entry.name}->{successor}",
+                f"{self._state_tag_prefix}:{successor}",
+            )
+            plain.append(item)
+            groups.setdefault(target, []).append(item)
+        singles = []
+        batches = []
+        for target, items in groups.items():
+            if len(items) == 1:
+                # A batch of one is the plain path: same transfer, same
+                # single engine step — batching it would only relabel it.
+                singles.append(items[0])
+                continue
+            remote = items[0][0]
+            dest_structure = items[0][1]
+            dest_entries = tuple(item[2] for item in items)
+            names = tuple(dest.name for dest in dest_entries)
+            prefix = (
+                self._local_notify_prefix
+                if remote is None
+                else self._remote_notify_prefix
+            )
+            batches.append(
+                (
+                    remote,
+                    dest_structure,
+                    dest_entries,
+                    names,
+                    ",".join(names),
+                    f"{prefix}:{entry.name}->[{len(items)}]",
+                    f"{self._state_tag_prefix}-batch:"
+                    f"{names[0]}+{len(items) - 1}",
+                )
+            )
+        entry.succ_singles = tuple(singles)
+        entry.succ_batches = tuple(batches)
+        entry.succ_entries = tuple(plain)
 
     def retire(self, workflow: str, version: int) -> None:
         """Red-black support: drop an out-of-date sub-graph version."""
         structure = self._structures.pop((workflow, version), None)
+        self._compiled.pop((workflow, version), None)
         if structure is None:
             return
         for function in structure.local_functions:
@@ -103,6 +290,16 @@ class WorkerEngine:
     def structure(self, workflow: str, version: int) -> WorkflowStructure:
         try:
             return self._structures[(workflow, version)]
+        except KeyError:
+            raise KeyError(
+                f"no sub-graph of {workflow!r} v{version} on {self.node.name}"
+            ) from None
+
+    def _lookup(
+        self, workflow: str, version: int
+    ) -> tuple[WorkflowStructure, dict[str, _FnDispatch]]:
+        try:
+            return self._compiled[(workflow, version)]
         except KeyError:
             raise KeyError(
                 f"no sub-graph of {workflow!r} v{version} on {self.node.name}"
@@ -127,6 +324,46 @@ class WorkerEngine:
             self.busy_time += self.system.config.worker_process_time
 
     # -- state synchronization (paper Fig. 6) ---------------------------------
+    def _apply_state_update(
+        self,
+        structure: WorkflowStructure,
+        entry: _FnDispatch,
+        invocation_id: InvocationID,
+    ) -> None:
+        """One predecessor-done bookkeeping action (post engine step)."""
+        inv = structure.invocation(invocation_id)
+        index = entry.index
+        done = inv.preds_done[index] + 1
+        inv.preds_done[index] = done
+        if not inv.flags[index] & TRIGGERED and done >= entry.preds_count:
+            inv.flags[index] |= TRIGGERED
+            structure.note_triggered(invocation_id, index)
+            self.system.spawn_registered(
+                self.run_function(structure, entry, invocation_id),
+                invocation_id,
+                node=self.node.name,
+                name=entry.run_name,
+            )
+
+    def _trigger_entry(
+        self,
+        structure: WorkflowStructure,
+        entry: _FnDispatch,
+        invocation_id: InvocationID,
+    ) -> None:
+        """Fire an entry function (post engine step), once."""
+        inv = structure.invocation(invocation_id)
+        index = entry.index
+        if not inv.flags[index] & TRIGGERED:
+            inv.flags[index] |= TRIGGERED
+            structure.note_triggered(invocation_id, index)
+            self.system.spawn_registered(
+                self.run_function(structure, entry, invocation_id),
+                invocation_id,
+                node=self.node.name,
+                name=entry.run_name,
+            )
+
     def receive_state_update(
         self,
         workflow: str,
@@ -134,24 +371,44 @@ class WorkerEngine:
         invocation_id: InvocationID,
         function: str,
     ) -> Generator:
-        """A predecessor of a local ``function`` finished somewhere."""
+        """A predecessor of a local ``function`` finished somewhere.
+
+        Name-based handler: recovery replay and external callers enter
+        here; steady-state propagation uses the pre-linked notify paths.
+        """
         if self.down:
             self._deferred.append(
                 ("update", workflow, version, invocation_id, function)
             )
             return
         yield from self._engine_step()
-        structure = self.structure(workflow, version)
-        info = structure.info(function)
-        state = structure.invocation(invocation_id).state_of(function)
-        state.mark_predecessor_done()
-        if state.ready(info.predecessors_count):
-            state.triggered = True
-            self.system.spawn_registered(
-                self.run_function(workflow, version, invocation_id, function),
-                invocation_id,
-                node=self.node.name,
-                name=f"worker:{self.node.name}:{function}",
+        structure, entries = self._lookup(workflow, version)
+        self._apply_state_update(structure, entries[function], invocation_id)
+
+    def receive_state_updates(
+        self,
+        workflow: str,
+        version: int,
+        invocation_id: InvocationID,
+        functions: Sequence[str],
+    ) -> Generator:
+        """Batched control plane: one engine wakeup applies all updates.
+
+        Used only under ``EngineConfig.batch_control`` — the whole batch
+        pays a *single* engine step (one handler wakeup), which is the
+        documented divergence from the per-message default mode.
+        """
+        if self.down:
+            for function in functions:
+                self._deferred.append(
+                    ("update", workflow, version, invocation_id, function)
+                )
+            return
+        yield from self._engine_step()
+        structure, entries = self._lookup(workflow, version)
+        for function in functions:
+            self._apply_state_update(
+                structure, entries[function], invocation_id
             )
 
     def trigger_source(
@@ -168,87 +425,78 @@ class WorkerEngine:
             )
             return
         yield from self._engine_step()
-        structure = self.structure(workflow, version)
-        state = structure.invocation(invocation_id).state_of(function)
-        if not state.triggered:
-            state.triggered = True
-            self.system.spawn_registered(
-                self.run_function(workflow, version, invocation_id, function),
-                invocation_id,
-                node=self.node.name,
-                name=f"worker:{self.node.name}:{function}",
-            )
+        structure, entries = self._lookup(workflow, version)
+        self._trigger_entry(structure, entries[function], invocation_id)
 
     # -- local execution -----------------------------------------------------
     def run_function(
         self,
-        workflow: str,
-        version: int,
+        structure: WorkflowStructure,
+        entry: _FnDispatch,
         invocation_id: InvocationID,
-        function: str,
     ) -> Generator:
-        structure = self.structure(workflow, version)
-        info = structure.info(function)
-        self.system.trace(
-            Kind.FUNCTION_TRIGGERED, workflow, invocation_id,
-            function=function, node=self.node.name,
-        )
+        system = self.system
+        function = entry.name
+        if system.tracer is not None:
+            system.trace(
+                Kind.FUNCTION_TRIGGERED, structure.workflow, invocation_id,
+                function=function, node=self.node.name,
+            )
         skipped = (
-            self.system.config.evaluate_switches
-            and not info.is_virtual
+            system.config.evaluate_switches
+            and not entry.is_virtual
             and is_skipped(structure.dag, function, invocation_id)
         )
-        if info.is_virtual or skipped:
+        produced = False
+        if entry.is_virtual or skipped:
             # Virtual step markers (and non-selected switch arms) cost
             # one local bookkeeping action, no container and no data.
-            yield self.env.timeout(self.system.config.local_trigger_time)
-            if skipped:
-                self.system.trace(
-                    Kind.FUNCTION_EXECUTED, workflow, invocation_id,
+            yield self.env.timeout(system.config.local_trigger_time)
+            if skipped and system.tracer is not None:
+                system.trace(
+                    Kind.FUNCTION_EXECUTED, structure.workflow, invocation_id,
                     function=function, node=self.node.name, detail="skipped",
                 )
         else:
-            execute_proc = self.system.spawn_registered(
-                self.system.runtime.execute(
+            # The runtime runs inline in this (already node-bound)
+            # trigger-handler process — no separate execute process on
+            # the hot path.  Interrupts land in the runtime's frames and
+            # surface with identical semantics.
+            try:
+                result = yield from system.runtime.execute(
                     structure.dag,
                     structure.placement,
                     invocation_id,
                     function,
-                    version=version,
-                ),
-                invocation_id,
-                node=self.node.name,
-                name=f"execute:{self.node.name}:{function}",
-            )
-            try:
-                result = yield execute_proc
+                    version=structure.version,
+                )
             except TaskCancelled:
                 return  # whoever cancelled us owns the invocation's fate
             except FunctionFailure:
                 # The task exhausted its retries: report the failure to
                 # the client like a sink would report success.
                 report_start = self.env.now
-                yield self.system.network.message(
+                yield system.network.message(
                     self.node.nic,
-                    self.system.client_node.nic,
-                    self.system.config.result_message_size,
-                    tag=f"failure:{function}",
+                    system.client_node.nic,
+                    system.config.result_message_size,
+                    tag=entry.fail_tag,
                 )
-                spans = self.system.spans
+                spans = system.spans
                 if spans.enabled:
                     spans.record(
                         SpanKind.STATE_SYNC,
                         report_start,
                         self.env.now,
-                        workflow=workflow,
+                        workflow=structure.workflow,
                         invocation_id=invocation_id,
                         function=function,
                         node=self.node.name,
                         parent=spans.root_of(invocation_id),
                         role="failure-report",
-                        dst=self.system.client_node.name,
+                        dst=system.client_node.name,
                     )
-                self.system.invocation_failed(
+                system.invocation_failed(
                     structure.workflow, invocation_id, function
                 )
                 return
@@ -256,28 +504,33 @@ class WorkerEngine:
                 # The execute process was cancelled (invocation abort or
                 # node crash) and exited quietly; so do we.
                 return
-            context = self.system.context(invocation_id)
+            context = system.context(invocation_id)
             if context is not None:
                 context.record.cold_starts += result.cold_starts
                 context.record.retries += result.retries
-            if result.cold_starts:
-                self.system.trace(
-                    Kind.COLD_START, workflow, invocation_id,
+            if result.cold_starts and system.tracer is not None:
+                system.trace(
+                    Kind.COLD_START, structure.workflow, invocation_id,
                     function=function, node=self.node.name,
                     detail=str(result.cold_starts),
                 )
-        structure.invocation(invocation_id).state_of(function).executed = True
-        self.system.trace(
-            Kind.FUNCTION_EXECUTED, workflow, invocation_id,
-            function=function, node=self.node.name,
-        )
-        self._propagate(structure, invocation_id, function)
+            produced = True
+        inv = structure.invocation(invocation_id)
+        inv.flags[entry.index] |= EXECUTED
+        structure.note_untriggered(invocation_id, entry.index)
+        if system.tracer is not None:
+            system.trace(
+                Kind.FUNCTION_EXECUTED, structure.workflow, invocation_id,
+                function=function, node=self.node.name,
+            )
+        self._propagate(structure, invocation_id, entry, produced)
 
     def _propagate(
         self,
         structure: WorkflowStructure,
         invocation_id: InvocationID,
-        function: str,
+        entry: _FnDispatch,
+        produced: bool = False,
     ) -> None:
         """Fan out state updates (and sink reports) as detached processes.
 
@@ -288,34 +541,71 @@ class WorkerEngine:
         packets already handed to the TCP stack, which survive the
         sender's crash but die with the invocation.
         """
-        info = structure.info(function)
-        if not info.successors:
-            self.system.spawn_registered(
-                self._report_sink(structure, invocation_id, function),
+        if entry.succ_entries is None:
+            self._link_entry(structure, entry)
+        spawn = self.system.spawn_registered
+        if not entry.succ_entries:
+            spawn(
+                self._report_sink(structure, invocation_id, entry),
                 invocation_id,
-                name=f"sink-report:{function}",
+                name=entry.sink_name,
             )
             return
-        for successor in info.successors:
-            target = info.successor_locations[successor]
-            if target == self.node.name:
-                self.system.spawn_registered(
-                    self._notify_local(structure, invocation_id, successor),
+        if self.system.config.batch_control:
+            for item in entry.succ_singles:
+                remote_engine = item[0]
+                if remote_engine is None:
+                    spawn(
+                        self._notify_local(item[1], invocation_id, item[2]),
+                        invocation_id,
+                        name=item[3],
+                    )
+                else:
+                    spawn(
+                        self._notify_remote(
+                            structure, invocation_id, item
+                        ),
+                        invocation_id,
+                        name=item[3],
+                    )
+            for batch in entry.succ_batches:
+                if batch[0] is None:
+                    spawn(
+                        self._notify_local_batch(
+                            batch[1], invocation_id, batch[2]
+                        ),
+                        invocation_id,
+                        name=batch[5],
+                    )
+                else:
+                    spawn(
+                        self._notify_remote_batch(
+                            structure, invocation_id, batch
+                        ),
+                        invocation_id,
+                        name=batch[5],
+                    )
+            return
+        for item in entry.succ_entries:
+            remote_engine = item[0]
+            if remote_engine is None:
+                spawn(
+                    self._notify_local(item[1], invocation_id, item[2]),
                     invocation_id,
-                    name=f"rpc:{function}->{successor}",
+                    name=item[3],
                 )
             else:
-                self.system.spawn_registered(
-                    self._notify_remote(structure, invocation_id, successor, target),
+                spawn(
+                    self._notify_remote(structure, invocation_id, item),
                     invocation_id,
-                    name=f"sync:{function}->{successor}",
+                    name=item[3],
                 )
 
     def _report_sink(
         self,
         structure: WorkflowStructure,
         invocation_id: InvocationID,
-        function: str,
+        entry: _FnDispatch,
     ) -> Generator:
         """A sink finished: report the execution state to the client."""
         report_start = self.env.now
@@ -323,7 +613,7 @@ class WorkerEngine:
             self.node.nic,
             self.system.client_node.nic,
             self.system.config.result_message_size,
-            tag=f"sink:{function}",
+            tag=entry.sink_tag,
         )
         spans = self.system.spans
         if spans.enabled:
@@ -333,7 +623,7 @@ class WorkerEngine:
                 self.env.now,
                 workflow=structure.workflow,
                 invocation_id=invocation_id,
-                function=function,
+                function=entry.name,
                 node=self.node.name,
                 parent=spans.root_of(invocation_id),
                 role="sink-report",
@@ -343,31 +633,62 @@ class WorkerEngine:
 
     def _notify_local(
         self,
-        structure: WorkflowStructure,
+        dest_structure: WorkflowStructure,
         invocation_id: InvocationID,
-        successor: str,
+        dest_entry: _FnDispatch,
     ) -> Generator:
         yield self.env.timeout(self.system.config.local_trigger_time)
-        yield from self.receive_state_update(
-            structure.workflow, structure.version, invocation_id, successor
-        )
+        if self.down:
+            self._deferred.append(
+                (
+                    "update", dest_structure.workflow,
+                    dest_structure.version, invocation_id, dest_entry.name,
+                )
+            )
+            return
+        yield from self._engine_step()
+        self._apply_state_update(dest_structure, dest_entry, invocation_id)
+
+    def _notify_local_batch(
+        self,
+        dest_structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        dest_entries: Sequence[_FnDispatch],
+    ) -> Generator:
+        """Batched local fan-out: one RPC hop, one engine wakeup."""
+        yield self.env.timeout(self.system.config.local_trigger_time)
+        if self.down:
+            for dest_entry in dest_entries:
+                self._deferred.append(
+                    (
+                        "update", dest_structure.workflow,
+                        dest_structure.version, invocation_id,
+                        dest_entry.name,
+                    )
+                )
+            return
+        yield from self._engine_step()
+        for dest_entry in dest_entries:
+            self._apply_state_update(
+                dest_structure, dest_entry, invocation_id
+            )
 
     def _notify_remote(
         self,
         structure: WorkflowStructure,
         invocation_id: InvocationID,
-        successor: str,
-        target: str,
+        item: tuple,
     ) -> Generator:
-        remote_engine = self.system.engine(target)
+        remote_engine, dest_structure, dest_entry, _, tag = item
+        system = self.system
         sync_start = self.env.now
-        yield self.system.network.message(
+        yield system.network.message(
             self.node.nic,
             remote_engine.node.nic,
-            self.system.config.state_message_size,
-            tag=f"state:{successor}",
+            system.config.state_message_size,
+            tag=tag,
         )
-        spans = self.system.spans
+        spans = system.spans
         if spans.enabled:
             spans.record(
                 SpanKind.STATE_SYNC,
@@ -375,21 +696,89 @@ class WorkerEngine:
                 self.env.now,
                 workflow=structure.workflow,
                 invocation_id=invocation_id,
-                function=successor,
+                function=dest_entry.name,
                 node=self.node.name,
                 parent=spans.root_of(invocation_id),
                 role="state",
                 dst=remote_engine.node.name,
             )
         remote_engine.states_synced += 1
-        self.system.trace(
-            Kind.STATE_SYNC, structure.workflow, invocation_id,
-            function=successor, node=remote_engine.node.name,
-            detail=f"from {self.node.name}",
+        if system.tracer is not None:
+            system.trace(
+                Kind.STATE_SYNC, structure.workflow, invocation_id,
+                function=dest_entry.name, node=remote_engine.node.name,
+                detail=f"from {self.node.name}",
+            )
+        if remote_engine.down:
+            remote_engine._deferred.append(
+                (
+                    "update", structure.workflow, structure.version,
+                    invocation_id, dest_entry.name,
+                )
+            )
+            return
+        yield from remote_engine._engine_step()
+        remote_engine._apply_state_update(
+            dest_structure, dest_entry, invocation_id
         )
-        yield from remote_engine.receive_state_update(
-            structure.workflow, structure.version, invocation_id, successor
+
+    def _notify_remote_batch(
+        self,
+        structure: WorkflowStructure,
+        invocation_id: InvocationID,
+        batch: tuple,
+    ) -> Generator:
+        """Batched remote fan-out: one transfer, one remote wakeup.
+
+        The coalesced message carries every state entry (the bytes still
+        move: size scales with the batch), but the destination engine
+        pays a single engine step for the whole batch.
+        """
+        remote_engine, dest_structure, dest_entries, _, joined, _, tag = batch
+        system = self.system
+        sync_start = self.env.now
+        yield system.network.message(
+            self.node.nic,
+            remote_engine.node.nic,
+            system.config.state_message_size * len(dest_entries),
+            tag=tag,
         )
+        spans = system.spans
+        if spans.enabled:
+            spans.record(
+                SpanKind.STATE_SYNC,
+                sync_start,
+                self.env.now,
+                workflow=structure.workflow,
+                invocation_id=invocation_id,
+                function=dest_entries[0].name,
+                node=self.node.name,
+                parent=spans.root_of(invocation_id),
+                role="state-batch",
+                dst=remote_engine.node.name,
+                batch=len(dest_entries),
+            )
+        remote_engine.states_synced += len(dest_entries)
+        if system.tracer is not None:
+            system.trace(
+                Kind.STATE_SYNC, structure.workflow, invocation_id,
+                function=joined, node=remote_engine.node.name,
+                detail=f"batch from {self.node.name}",
+            )
+        if remote_engine.down:
+            for dest_entry in dest_entries:
+                remote_engine._deferred.append(
+                    (
+                        "update", structure.workflow, structure.version,
+                        invocation_id, dest_entry.name,
+                    )
+                )
+            return
+        yield from remote_engine._engine_step()
+        for dest_entry in dest_entries:
+            remote_engine._apply_state_update(
+                dest_structure, dest_entry, invocation_id
+            )
 
     # -- crash and recovery ---------------------------------------------------
     def fail(self) -> list[tuple[str, int, InvocationID, str]]:
@@ -399,19 +788,18 @@ class WorkerEngine:
         executing is reset to untriggered and returned so the system
         can re-trigger it on recovery.  (``run_function`` marks a
         function executed and spawns its notifications in one atomic
-        step, so ``executed`` functions never need replay.)
+        step, so ``executed`` functions never need replay.)  The lost
+        set is read straight off each structure's live
+        triggered-not-executed index, so a crash costs O(in-flight
+        tasks) regardless of how many invocations the engine has ever
+        served.
         """
         self.down = True
         self.crash_count += 1
         pending: list[tuple[str, int, InvocationID, str]] = []
         for (workflow, version), structure in self._structures.items():
-            for invocation_id, inv_state in structure.invocation_items():
-                for function, state in inv_state.functions.items():
-                    if state.triggered and not state.executed:
-                        state.triggered = False
-                        pending.append(
-                            (workflow, version, invocation_id, function)
-                        )
+            for invocation_id, function in structure.drain_live_triggered():
+                pending.append((workflow, version, invocation_id, function))
         return pending
 
     def recover(self) -> None:
@@ -448,13 +836,15 @@ class WorkerEngine:
         function: str,
     ) -> bool:
         """Re-run a task the crash killed, unless it already restarted."""
-        structure = self.structure(workflow, version)
-        state = structure.invocation(invocation_id).state_of(function)
-        if state.triggered or state.executed:
+        structure, entries = self._lookup(workflow, version)
+        entry = entries[function]
+        inv = structure.invocation(invocation_id)
+        if inv.flags[entry.index] & (TRIGGERED | EXECUTED):
             return False  # a replayed control message beat us to it
-        state.triggered = True
+        inv.flags[entry.index] |= TRIGGERED
+        structure.note_triggered(invocation_id, entry.index)
         self.system.spawn_registered(
-            self.run_function(workflow, version, invocation_id, function),
+            self.run_function(structure, entry, invocation_id),
             invocation_id,
             node=self.node.name,
             name=f"retrigger:{self.node.name}:{function}",
@@ -507,6 +897,10 @@ class FaaSFlowSystem:
         self._contexts: dict[InvocationID, _InvocationContext] = {}
         self.node_crashes = 0
         self.retriggered = 0
+        # Serving-lifecycle gauges: current and peak concurrent
+        # invocations, so soak tests can pin memory ∝ concurrency.
+        self.in_flight = 0
+        self.peak_in_flight = 0
         # node name -> tasks lost to a crash, re-triggered on recovery.
         self._crash_pending: dict[
             str, list[tuple[str, int, InvocationID, str]]
@@ -571,12 +965,19 @@ class FaaSFlowSystem:
         previous = self._current_version.get(dag.name)
         version = (previous or 0) + 1
         placement = placement.with_version(version)
+        deployed = _DeployedWorkflow(
+            dag=dag,
+            placement=placement,
+            critical_exec=static_critical_exec(dag),
+        )
         for worker_name, engine in self.engines.items():
             local = placement.functions_on(worker_name)
             if local:
-                engine.deploy(
-                    WorkflowStructure(dag, placement, local, version=version)
+                structure = WorkflowStructure(
+                    dag, placement, local, version=version
                 )
+                engine.deploy(structure)
+                deployed.structures.append(structure)
         if prewarm > 0:
             for node in dag.real_nodes():
                 worker = self.cluster.node(placement.node_of(node.name))
@@ -584,11 +985,24 @@ class FaaSFlowSystem:
                 worker.containers.prewarm(
                     node.name, count=instances, version=version
                 )
-        self._deployed[(dag.name, version)] = _DeployedWorkflow(
-            dag=dag,
-            placement=placement,
-            critical_exec=static_critical_exec(dag),
-        )
+        # Pre-resolve each entry function's engine, structure, and
+        # dispatch entry (every sub-graph is compiled by now), so
+        # invoke() spawns sends with zero lookups or string formatting.
+        deployed.sources = []
+        for source in dag.sources():
+            engine = self.engines[placement.node_of(source)]
+            structure, entries = engine._lookup(dag.name, version)
+            deployed.sources.append(
+                (
+                    engine,
+                    structure,
+                    entries[source],
+                    f"invoke:{dag.name}:{source}",
+                    f"invoke:{source}",
+                )
+            )
+        deployed.sink_count = len(dag.sinks())
+        self._deployed[(dag.name, version)] = deployed
         self._current_version[dag.name] = version
         if previous is not None:
             self._try_retire(dag.name, previous)
@@ -620,55 +1034,61 @@ class FaaSFlowSystem:
 
     def invoke(self, workflow: str) -> Generator:
         """Simulation process: one end-to-end invocation (client side)."""
-        version = self.current_version(workflow)
+        version = self._current_version.get(workflow)
+        if version is None:
+            raise KeyError(f"workflow {workflow!r} is not deployed")
         deployed = self._deployed[(workflow, version)]
-        dag, placement = deployed.dag, deployed.placement
         invocation_id = new_invocation_id()
+        env = self.env
         record = InvocationRecord(
             workflow=workflow,
             invocation_id=invocation_id,
             mode=self.mode,
-            started_at=self.env.now,
+            started_at=env.now,
             critical_path_exec=deployed.critical_exec,
         )
         context = _InvocationContext(
             record=record,
             version=version,
-            sinks_remaining=len(dag.sinks()),
-            all_done=self.env.event(),
-            failed=self.env.event(),
+            sinks_remaining=deployed.sink_count,
+            done=env.event(),
         )
         self._contexts[invocation_id] = context
         deployed.live_invocations += 1
-        self.trace(Kind.INVOCATION_START, workflow, invocation_id)
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        if self.tracer is not None:
+            self.trace(Kind.INVOCATION_START, workflow, invocation_id)
         if self.spans.enabled:
             self.spans.start_invocation(
                 invocation_id, workflow=workflow, mode=self.mode
             )
         # The client ships the invocation request to each entry
         # function's worker; from there everything is worker-side.
-        for source in dag.sources():
+        for engine, structure, entry, send_name, tag in deployed.sources:
             self.spawn_registered(
                 self._send_invocation(
-                    workflow, version, invocation_id, source, placement
+                    invocation_id, engine, structure, entry, tag
                 ),
                 invocation_id,
-                name=f"invoke:{workflow}:{source}",
+                name=send_name,
             )
-        timeout = self.env.timeout(self.config.execution_timeout)
-        yield self.env.any_of([context.all_done, context.failed, timeout])
+        timeout = env.timeout(self.config.execution_timeout)
+        timeout.callbacks.append(context._deadline)
+        yield context.done
         # Check failure *before* completion: when a failure report and
         # the last sink report land in the same timestep, the failure
         # must win (sink_completed also refuses to count sinks after a
-        # failure, so all_done can't even trigger then).
-        if context.failed.triggered:
+        # failure, so the completion path can't even trigger then).
+        if context.failed is not None:
             record.status = InvocationStatus.FAILED
-            record.finished_at = self.env.now
-        elif context.all_done.triggered:
-            record.finished_at = self.env.now
-        else:
+            record.finished_at = env.now
+        elif context.done.value is _TIMED_OUT:
             record.status = InvocationStatus.TIMEOUT
             record.finished_at = record.started_at + self.config.execution_timeout
+        else:
+            record.finished_at = env.now
         if not timeout.processed:
             # Cancel the watchdog so the kernel heap doesn't accumulate
             # one 60-second timer per completed invocation.
@@ -684,62 +1104,87 @@ class FaaSFlowSystem:
                     detail=f"{cancelled} process(es)",
                 )
         self.registry.release_invocation(invocation_id)
-        self.policy.cleanup_invocation(dag, invocation_id)
+        self.policy.cleanup_invocation(deployed.dag, invocation_id)
         self.metrics.record_invocation(record)
         if self.telemetry.enabled:
             record_invocation_metrics(
-                self.telemetry, record, self.config.tenant, self.engine_label
+                self.telemetry, record, self.tenant_of(workflow),
+                self.engine_label,
             )
-        self.trace(
-            Kind.INVOCATION_END, workflow, invocation_id, detail=record.status
-        )
+        if self.tracer is not None:
+            self.trace(
+                Kind.INVOCATION_END, workflow, invocation_id,
+                detail=record.status,
+            )
         if self.spans.enabled:
             root = self.spans.root_of(invocation_id)
             if root is not None:
                 self.spans.end(root, status=record.status)
         self._contexts.pop(invocation_id, None)
-        # Release the per-invocation *State* objects on every engine
-        # that holds a sub-graph of this workflow (paper §4.2.1).
-        for engine in self.engines.values():
-            if engine.has_structure(workflow, version):
-                engine.structure(workflow, version).release_invocation(
-                    invocation_id
-                )
+        # Release the per-invocation *State* arrays on every engine
+        # that holds a sub-graph of this workflow (paper §4.2.1), so
+        # live engine memory is O(in-flight), not O(served).
+        for structure in deployed.structures:
+            structure.release_invocation(invocation_id)
         deployed.live_invocations -= 1
+        self.in_flight -= 1
         if version != self._current_version.get(workflow):
             self._try_retire(workflow, version)
         return record
 
     def _send_invocation(
         self,
-        workflow: str,
-        version: int,
         invocation_id: InvocationID,
-        source: str,
-        placement: Placement,
+        engine: WorkerEngine,
+        structure: WorkflowStructure,
+        entry: _FnDispatch,
+        tag: str,
     ) -> Generator:
-        engine = self.engine(placement.node_of(source))
         send_start = self.env.now
         yield self.network.message(
             self.client_node.nic,
             engine.node.nic,
             self.config.assign_message_size,
-            tag=f"invoke:{source}",
+            tag=tag,
         )
         if self.spans.enabled:
             self.spans.record(
                 SpanKind.STATE_SYNC,
                 send_start,
                 self.env.now,
-                workflow=workflow,
+                workflow=structure.workflow,
                 invocation_id=invocation_id,
-                function=source,
+                function=entry.name,
                 node=self.client_node.name,
                 parent=self.spans.root_of(invocation_id),
                 role="invoke",
                 dst=engine.node.name,
             )
-        yield from engine.trigger_source(workflow, version, invocation_id, source)
+        if engine.down:
+            engine._deferred.append(
+                (
+                    "trigger", structure.workflow, structure.version,
+                    invocation_id, entry.name,
+                )
+            )
+            return
+        yield from engine._engine_step()
+        engine._trigger_entry(structure, entry, invocation_id)
+
+    def tenant_of(self, workflow: str) -> str:
+        """Telemetry tenant label for one workflow's invocations.
+
+        ``EngineConfig.tenant`` is the system-wide default; multi-tenant
+        serving harnesses may register per-workflow owners through
+        :meth:`set_tenants` for per-tenant rollups.
+        """
+        tenants = getattr(self, "_tenants", None)
+        if tenants is not None:
+            return tenants.get(workflow, self.config.tenant)
+        return self.config.tenant
+
+    def set_tenants(self, tenants: dict[str, str]) -> None:
+        self._tenants = dict(tenants)
 
     def trace(self, kind: str, workflow: str, invocation_id: InvocationID,
               function: str = "", node: str = "", detail: str = "") -> None:
@@ -755,18 +1200,20 @@ class FaaSFlowSystem:
         context = self._contexts.get(invocation_id)
         if context is None:
             return  # already timed out / torn down
-        if context.failed is not None and not context.failed.triggered:
-            context.failed.succeed(function)
+        if context.failed is None:
+            context.failed = function
+            if not context.done.triggered:
+                context.done.succeed(function)
 
     def sink_completed(self, workflow: str, invocation_id: InvocationID) -> None:
         context = self._contexts.get(invocation_id)
         if context is None:
             return  # invocation already timed out and was torn down
-        if context.failed is not None and context.failed.triggered:
+        if context.failed is not None:
             return  # already failed; a late sink can't resurrect it
         context.sinks_remaining -= 1
-        if context.sinks_remaining == 0 and not context.all_done.triggered:
-            context.all_done.succeed()
+        if context.sinks_remaining == 0 and not context.done.triggered:
+            context.done.succeed()
 
     # -- fault hooks (called by FaultDriver) ----------------------------------
     def on_node_crash(self, node_name: str) -> None:

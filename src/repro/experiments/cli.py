@@ -30,6 +30,7 @@ from . import (
     ablations,
     ext_dataflow_overlap,
     ext_fault_resilience,
+    ext_scale_serve,
 )
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -67,6 +68,10 @@ EXPERIMENTS: dict[str, tuple[Callable, dict]] = {
     "faults-backoff": (
         ext_fault_resilience.run_backoff,
         {"invocations": 3, "bases": (0.0, 0.1)},
+    ),
+    "scale-serve": (
+        ext_scale_serve.run,
+        {"invocations": 20_000, "tenants": 4},
     ),
 }
 

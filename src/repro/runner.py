@@ -75,6 +75,7 @@ def run_workflow(
     fault_rate: float = 0.0,
     max_retries: int = 2,
     eager_ship: bool = True,
+    batch_control: bool = False,
     seed: int = 13,
     trace_out: str | Path | None = None,
     sample_interval: float = 0.25,
@@ -135,7 +136,7 @@ def run_workflow(
     )
     config = EngineConfig(
         ship_data=ship_data, max_retries=max_retries, tenant=tenant,
-        eager_ship=eager_ship,
+        eager_ship=eager_ship, batch_control=batch_control,
     )
     if engine == "master":
         system = HyperFlowServerlessSystem(
@@ -406,6 +407,12 @@ def main(argv: list[str] | None = None) -> int:
         "eager output shipping; the ablation baseline)",
     )
     parser.add_argument(
+        "--batch-control", action="store_true",
+        help="coalesce same-destination control messages emitted in one "
+        "engine step into a single transfer and handler wakeup (changes "
+        "per-hop timing, never outcomes; default off)",
+    )
+    parser.add_argument(
         "--trials", type=int, default=1, metavar="K",
         help="repeat the whole run K times with per-trial derived seeds "
         "and report the spread (default 1)",
@@ -477,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         fault_rate=args.fault_rate,
         max_retries=args.max_retries,
         eager_ship=not args.no_eager_ship,
+        batch_control=args.batch_control,
         tenant=args.tenant,
         kernel_scheduler=args.scheduler,
     )

@@ -412,15 +412,24 @@ class Network:
         """A latency-dominated control message, never contention-modeled."""
         if size < 0:
             raise SimulationError(f"negative message size {size}")
-        done = self.env.event()
         started = self.env.now
         if src is dst:
             duration = self.config.extra.get("loopback_latency", 0.00005)
         else:
             duration = self.config.latency + size / min(src.bandwidth, dst.bandwidth)
         self.message_count += 1
-        self._complete_later(done, duration, src, dst, size, started, "message", tag)
-        return done
+        # The delivery timer doubles as the completion event handed to
+        # the caller: its first callback books the transfer, then the
+        # waiting process resumes off the same queue entry.  (transfer()
+        # keeps a separate done event — flow completion is decided by
+        # the bandwidth-sharing model, not by a pre-computed timer.)
+        timer = self.env.timeout(duration)
+
+        def _finish(_: Event) -> None:
+            self._record(src, dst, size, started, "message", tag)
+
+        timer.callbacks.append(_finish)
+        return timer
 
     # -- internals -------------------------------------------------------
     def _complete_later(

@@ -239,9 +239,13 @@ class TestCancellationPropagation:
             yield env.timeout(0.01)
             invocation_id = next(iter(system._contexts))
             context = system.context(invocation_id)
+            sinks_before = context.sinks_remaining
             system.invocation_failed("fan", invocation_id, "b0")
             system.sink_completed("fan", invocation_id)
-            assert not context.all_done.triggered
+            # The late sink must not count toward completion once the
+            # invocation has failed.
+            assert context.failed == "b0"
+            assert context.sinks_remaining == sinks_before
             yield proc
 
         done = env.process(client())

@@ -234,3 +234,36 @@ class TestSec6:
         # The win comes from locality, not raw speed.
         assert memory["local"] > 0.3
         assert baseline["local"] < 0.05
+
+
+class TestScaleServe:
+    def test_sustained_serving_rollups_and_lifecycle(self):
+        from repro.experiments import ext_scale_serve
+
+        result = ext_scale_serve.run(
+            invocations=1_200, tenants=4, workers=4, rate_per_minute=2_400.0
+        )
+        data = result.data
+        assert data["total_served"] == 1_200
+        assert data["total_ok"] == 1_200
+        # Per-tenant rollup rows: one per tenant, all served, all ok.
+        assert len(result.rows) == 4
+        assert all(row[2] == 300 for row in result.rows)
+        # The lifecycle claim: peak live state is set by concurrency,
+        # far below the number served; telemetry is O(label sets).
+        assert 0 < data["peak_in_flight"] < 100
+        assert 0 < data["peak_live_invocations"] <= data["peak_in_flight"]
+        assert data["telemetry_instruments"] < 1_000
+
+    def test_batched_mode_serves_identically_sized_run(self):
+        from repro.experiments import ext_scale_serve
+
+        result = ext_scale_serve.run(
+            invocations=600,
+            tenants=2,
+            workers=4,
+            rate_per_minute=2_400.0,
+            batch_control=True,
+        )
+        assert result.data["total_ok"] == result.data["total_served"] == 600
+        assert result.data["batch_control"] is True
